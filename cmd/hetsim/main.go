@@ -1,0 +1,66 @@
+// Command hetsim is the full experiment driver: it regenerates every figure
+// and extension experiment of DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	hetsim [-experiment <name>|all] [-scale quick|paper] [-seed N] [-csv] [-list]
+//
+// Run `hetsim -list` for the experiment names and descriptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	expName := flag.String("experiment", "all", "which experiment to run (or 'all')")
+	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.Registry() {
+			fmt.Printf("%-14s %s\n", e.Name, e.About)
+		}
+		return
+	}
+
+	scale, err := sim.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ran := 0
+	for _, e := range sim.Registry() {
+		if *expName != "all" && *expName != e.Name {
+			continue
+		}
+		t, err := e.Run(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetsim: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "hetsim: unknown experiment %q; available:", *expName)
+		for _, e := range sim.Registry() {
+			fmt.Fprintf(os.Stderr, " %s", e.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

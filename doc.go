@@ -1,0 +1,45 @@
+// Package repro is a Go implementation of the heterogeneous dating service
+// and its rumor-spreading application from:
+//
+//	Olivier Beaumont, Philippe Duchon, Miroslaw Korzeniowski.
+//	"Heterogenous dating service with application to rumor spreading."
+//	IEEE IPDPS 2008 (INRIA research report RR-6168).
+//
+// The dating service is a fully decentralized mechanism that pairs offers of
+// outgoing bandwidth with requests for incoming bandwidth, never exceeding
+// any node's declared capabilities. With high probability it arranges a
+// constant fraction of everything a centralized matchmaker could, for *any*
+// common selection distribution — including the highly non-uniform one a DHT
+// induces — which is what makes it practical: unlike classical PUSH/PULL
+// gossip, it never needs the ability to pick a peer uniformly at random.
+//
+// This package is the public facade over the implementation packages:
+//
+//   - the dating service itself (Algorithm 1), flat and message-level;
+//   - rumor spreading on top of it, plus the five classical baselines
+//     (PUSH, PULL, PUSH&PULL, fair PULL, fair PUSH&PULL) of Figure 2;
+//   - the DHT substrate of Section 4 (Chord-style and continuous–discrete
+//     routing, interval-weight selection, pipelined lookups);
+//   - the Section 5 extensions: multi-block rumor mongering with GF(2^8)
+//     random linear network coding, and replicated storage organized by
+//     block exchanges;
+//   - the experiment harness regenerating both figures of the paper's
+//     evaluation and the extension experiments listed in DESIGN.md.
+//
+// # Quick start
+//
+//	profile := repro.UnitBandwidth(1000)          // n nodes, bin = bout = 1
+//	sel, _ := repro.Uniform(1000)                 // selection distribution
+//	svc, _ := repro.NewDatingService(profile, sel)
+//	s := repro.NewStream(42)                      // deterministic randomness
+//	res := svc.RunRound(s)                        // one round of Algorithm 1
+//	fmt.Println(len(res.Dates), "dates arranged") // ≈ 0.47 * n
+//
+// To spread a rumor:
+//
+//	out, _ := repro.SpreadRumor(repro.RumorConfig{N: 1000, Algorithm: repro.Dating}, s)
+//	fmt.Println(out.Rounds, "rounds")             // O(log n)
+//
+// See the runnable programs under examples/ and the reproduction CLIs under
+// cmd/.
+package repro

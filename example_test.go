@@ -1,0 +1,94 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// One round of the dating service on a homogeneous network: about 47% of
+// the centralized optimum is arranged under uniform selection.
+func ExampleNewDatingService() {
+	profile := repro.UnitBandwidth(1000)
+	sel, _ := repro.Uniform(1000)
+	svc, _ := repro.NewDatingService(profile, sel)
+
+	s := repro.NewStream(42)
+	res := svc.RunRound(s)
+
+	frac := res.Fraction(svc.M())
+	fmt.Println(frac > 0.40 && frac < 0.55)
+	// Output: true
+}
+
+// Rumor spreading completes in O(log n) rounds; at n = 1024 that is a few
+// dozen rounds for the dating-based spreader.
+func ExampleSpreadRumor() {
+	s := repro.NewStream(7)
+	res, _ := repro.SpreadRumor(repro.RumorConfig{
+		N:         1024,
+		Algorithm: repro.Dating,
+		Source:    0,
+	}, s)
+
+	fmt.Println(res.Completed)
+	fmt.Println(res.Rounds > 10 && res.Rounds < 60)
+	// Output:
+	// true
+	// true
+}
+
+// The DHT induces a non-uniform selection distribution (arc lengths), and
+// the dating service arranges even MORE dates with it than with uniform
+// selection — the paper's Figure 1 result.
+func ExampleRingSelection() {
+	s := repro.NewStream(3)
+	ring, _ := repro.NewRing(1000, s)
+	sel, _ := repro.RingSelection(ring)
+	svc, _ := repro.NewDatingService(repro.UnitBandwidth(1000), sel)
+
+	total := 0
+	for i := 0; i < 20; i++ {
+		total += len(svc.RunRound(s).Dates)
+	}
+	avg := float64(total) / 20 / 1000
+	fmt.Println(avg > 0.50) // uniform gives ~0.47; DHT beats it
+	// Output: true
+}
+
+// Broadcasting a multi-block message with network coding over the dating
+// service: every node decodes the full message, verified bit-exactly.
+func ExampleMonger() {
+	s := repro.NewStream(5)
+	res, _ := repro.Monger(repro.MongerConfig{
+		N:         50,
+		Blocks:    8,
+		BlockSize: 32,
+	}, s)
+
+	fmt.Println(res.Completed)
+	fmt.Println(res.Rounds >= 8) // at least one round per block at unit bandwidth
+	// Output:
+	// true
+	// true
+}
+
+// ArrangeDates is the raw supply/demand matching interface: here node 0
+// offers two units and nodes 2 and 3 each demand one.
+func ExampleArrangeDates() {
+	sel, _ := repro.Uniform(4)
+	s := repro.NewStream(9)
+
+	supply := []int{2, 0, 0, 0}
+	demand := []int{0, 0, 1, 1}
+	dates, _ := repro.ArrangeDates(supply, demand, sel, s)
+
+	valid := true
+	for _, d := range dates {
+		if d.Sender != 0 || (d.Receiver != 2 && d.Receiver != 3) {
+			valid = false
+		}
+	}
+	fmt.Println(valid)
+	// Output: true
+}

@@ -1,0 +1,49 @@
+// Handshake: the dating service as an explicit message protocol. Each
+// dating round costs three network rounds — scatter tiny offer/request
+// messages, rendezvous answers carrying one address each, then the actual
+// payloads — which is exactly the overhead model of the paper ("these will
+// be only small messages — typically one IP address in each message").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const n = 500
+	profile := repro.UnitBandwidth(n)
+	sel, err := repro.Uniform(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := repro.NewHandshake(profile, sel, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := repro.NewNetwork(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	totalDates := 0
+	const rounds = 10
+	for r := 1; r <= rounds; r++ {
+		dates, err := h.RunRound(nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalDates += len(dates)
+		fmt.Printf("dating round %2d: %3d dates\n", r, len(dates))
+	}
+
+	st := nw.Stats()
+	control := st.Sent - int64(totalDates)
+	fmt.Printf("\nover %d dating rounds (%d network rounds):\n", rounds, st.Rounds)
+	fmt.Printf("  payload messages: %d\n", totalDates)
+	fmt.Printf("  control messages: %d (%.1f per payload, all address-sized)\n",
+		control, float64(control)/float64(totalDates))
+	fmt.Println("\nwhen the payload is a movie chunk, this overhead is negligible")
+}

@@ -1,0 +1,282 @@
+package repro_test
+
+// Integration tests crossing module boundaries: the DHT substrate feeding
+// the dating service, the dating service feeding gossip/coding/storage, and
+// whole-experiment determinism. These are the paths a deployment would
+// exercise together.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+func TestRumorOverRealDHT(t *testing.T) {
+	// Full Section 4 stack: random ring -> interval-weight selection ->
+	// dating service -> rumor spreading. Must complete in O(log n) without
+	// uniform sampling anywhere.
+	s := rng.New(1)
+	const n = 1024
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := core.NewRingSelector(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.Run(gossip.Config{
+		Algorithm: gossip.Dating,
+		N:         n,
+		Selector:  sel,
+		Source:    ring.Owner(s.Uint64()), // an arbitrary DHT node
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("DHT-backed spread incomplete after %d rounds", res.Rounds)
+	}
+	if float64(res.Rounds) > 6*math.Log2(n) {
+		t.Fatalf("%d rounds is not O(log n) at n=%d", res.Rounds, n)
+	}
+	if res.MaxInLoad > 1 || res.MaxOutLoad > 1 {
+		t.Fatal("bandwidth exceeded over DHT selection")
+	}
+}
+
+func TestDHTSpreadingBeatsUniformSlightly(t *testing.T) {
+	// More dates arranged (Figure 1) should translate into no-slower
+	// spreading over the DHT distribution than uniform.
+	s := rng.New(2)
+	const n, reps = 512, 12
+	var dht, uni stats.Accumulator
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringSel, _ := core.NewRingSelector(ring)
+	for rep := 0; rep < reps; rep++ {
+		rd, err := gossip.Run(gossip.Config{Algorithm: gossip.Dating, N: n, Selector: ringSel}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dht.Add(float64(rd.Rounds))
+		ru, err := gossip.Run(gossip.Config{Algorithm: gossip.Dating, N: n}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni.Add(float64(ru.Rounds))
+	}
+	// The paper: "from the previous set of experiments it follows that they
+	// [DHTs] will be at least as fast". Allow generous noise.
+	if dht.Mean() > uni.Mean()*1.3 {
+		t.Fatalf("DHT spreading %.1f rounds vs uniform %.1f: contradicts Figure 1's implication",
+			dht.Mean(), uni.Mean())
+	}
+}
+
+func TestMongeringOverDHT(t *testing.T) {
+	// Section 5 extension on the Section 4 substrate.
+	s := rng.New(3)
+	const n = 64
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := core.NewRingSelector(ring)
+	res, err := coding.RunMonger(coding.MongerConfig{
+		N: n, Blocks: 6, BlockSize: 32, Selector: sel, PayloadSeed: 9,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("mongering over DHT incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestStorageOverDHT(t *testing.T) {
+	s := rng.New(4)
+	const n = 40
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := core.NewRingSelector(ring)
+	res, err := storage.Run(storage.Config{
+		N: n, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4, Selector: sel,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("replication over DHT incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestHandshakeOverDHTWithChurn(t *testing.T) {
+	// Message-level dating over DHT selection while killing nodes between
+	// rounds: dates must keep flowing among survivors and never touch the
+	// dead.
+	s := rng.New(5)
+	const n = 80
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := core.NewRingSelector(ring)
+	h, err := core.NewHandshake(bandwidth.Homogeneous(n, 1), sel, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := simnet.NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSet := map[int]bool{}
+	for round := 0; round < 8; round++ {
+		if round%2 == 1 {
+			killed := nw.Crash(s, 0.05)
+			_ = killed
+			for i := 0; i < n; i++ {
+				if !nw.Alive(i) {
+					deadSet[i] = true
+				}
+			}
+		}
+		dates, err := h.RunRound(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dates {
+			if deadSet[d.Sender] || deadSet[d.Receiver] {
+				t.Fatalf("round %d: date %v touches a dead node", round, d)
+			}
+		}
+		if nw.AliveCount() > 10 && len(dates) == 0 {
+			t.Fatalf("round %d: no dates among %d live nodes", round, nw.AliveCount())
+		}
+	}
+}
+
+func TestPipelinedDatingOverChordLatency(t *testing.T) {
+	// Glue E7 together end to end: measure real hop counts, feed them into
+	// the pipeline, and confirm the k rounds complete in latency + k steps.
+	s := rng.New(6)
+	ring, err := overlay.NewRing(512, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency := int(math.Ceil(ring.AvgLookupHops(s, 200, ring.Lookup)))
+	if latency < 2 {
+		t.Fatalf("latency %d too small for n=512", latency)
+	}
+	pl, err := core.NewPipeline(latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := core.NewRingSelector(ring)
+	svc, err := core.NewService(bandwidth.Homogeneous(512, 1), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	steps, matured, totalDates := 0, 0, 0
+	for matured < k {
+		steps++
+		res := svc.RunRound(s)
+		if out, ok := pl.Tick(res.Dates); ok {
+			matured++
+			totalDates += len(out)
+		}
+	}
+	if steps != latency+k {
+		t.Fatalf("pipelined %d rounds took %d steps, want %d", k, steps, latency+k)
+	}
+	if totalDates < k*200 { // ~0.52 * 512 per round
+		t.Fatalf("only %d dates matured over %d rounds", totalDates, k)
+	}
+}
+
+func TestExperimentSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full quick-scale experiment passes")
+	}
+	// The whole harness is a pure function of its seed: identical tables
+	// on identical seeds, different tables on different seeds.
+	a1, err := sim.RunAlphaVsLoad(sim.ScaleQuick, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sim.RunAlphaVsLoad(sim.ScaleQuick, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different results")
+	}
+	a3, err := sim.RunAlphaVsLoad(sim.ScaleQuick, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestFigureRunnersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs figure 2 twice")
+	}
+	f1, err := sim.RunFigure2(sim.ScaleQuick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sim.RunFigure2(sim.ScaleQuick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("figure 2 is not deterministic")
+	}
+}
+
+func TestPoissonPredictionAgainstDHTSimulation(t *testing.T) {
+	// PredictWeightedFraction fed with the measured DHT interval weights
+	// must predict the simulated DHT fraction — analysis and simulation
+	// agreeing through two module boundaries.
+	s := rng.New(7)
+	const n = 800
+	ring, err := overlay.NewRing(n, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.PredictWeightedFraction(ring.IntervalWeights(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := core.NewRingSelector(ring)
+	svc, err := core.NewService(bandwidth.Homogeneous(n, 1), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.Accumulator
+	for r := 0; r < 150; r++ {
+		acc.Add(svc.RunRound(s).Fraction(n))
+	}
+	if math.Abs(acc.Mean()-pred) > 0.02 {
+		t.Fatalf("DHT: simulated %.4f vs Poisson prediction %.4f", acc.Mean(), pred)
+	}
+}

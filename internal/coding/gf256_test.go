@@ -1,0 +1,165 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatal("Add is not xor")
+	}
+	if Add(7, 7) != 0 {
+		t.Fatal("x + x must be 0 in characteristic 2")
+	}
+}
+
+func TestMulBasics(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 123, 123},
+		{123, 1, 123},
+		{2, 2, 4},
+		{0x80, 2, 0x1d}, // overflow reduces by the primitive polynomial
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulMatchesSchoolbook(t *testing.T) {
+	// Carry-less multiply then reduce by the polynomial: reference
+	// implementation to validate the log/exp tables exhaustively.
+	ref := func(a, b byte) byte {
+		var acc uint16
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				acc ^= uint16(a) << i
+			}
+		}
+		for i := 15; i >= 8; i-- {
+			if acc&(1<<i) != 0 {
+				acc ^= gfPoly << (i - 8)
+			}
+		}
+		return byte(acc)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != ref(byte(a), byte(b)) {
+				t.Fatalf("Mul(%d, %d) disagrees with schoolbook", a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	// Associativity, commutativity, distributivity via testing/quick.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Mul(b, c)) == Mul(Mul(a, b), c)
+	}, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	if err := quick.Check(func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a)
+	}, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, nil); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("%d * Inv(%d) = %d", a, a, Mul(byte(a), inv))
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDiv(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Div(0, 5) != 0 {
+		t.Fatal("0 / x != 0")
+	}
+}
+
+func TestDivZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestMulSlice(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	src := []byte{4, 5, 6}
+	want := make([]byte, 3)
+	for i := range want {
+		want[i] = Add(dst[i], Mul(7, src[i]))
+	}
+	mulSlice(dst, src, 7)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("mulSlice[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	// c = 0 is a no-op; c = 1 is xor.
+	dst2 := []byte{9, 9}
+	mulSlice(dst2, []byte{1, 2}, 0)
+	if dst2[0] != 9 || dst2[1] != 9 {
+		t.Fatal("mulSlice with c=0 modified dst")
+	}
+	mulSlice(dst2, []byte{1, 2}, 1)
+	if dst2[0] != 8 || dst2[1] != 11 {
+		t.Fatalf("mulSlice with c=1: %v", dst2)
+	}
+}
+
+func TestScaleSlice(t *testing.T) {
+	dst := []byte{3, 0, 250}
+	want := []byte{Mul(3, 5), 0, Mul(250, 5)}
+	scaleSlice(dst, 5)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("scaleSlice[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	scaleSlice(dst, 1) // identity
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatal("scaleSlice with c=1 changed values")
+		}
+	}
+	scaleSlice(dst, 0)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("scaleSlice with c=0 did not zero")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ArrangeDates runs one dating-service round directly from per-node supply
+// and demand vectors: out[i] offers (units node i wants to send) and in[i]
+// requests (units node i can absorb). Unlike Service, it permits zeros —
+// protocols such as replicated storage have fluctuating per-round demand,
+// and a node with nothing to offer simply stays silent that round. The
+// paper's abstract description covers this directly: the service "randomly
+// joins demands and supplies of some resource into couples".
+//
+// Entries must be non-negative and both slices must have the selector's
+// length. Dates never exceed out[i]/in[i] for any node.
+func ArrangeDates(out, in []int, sel Selector, s *rng.Stream) ([]Date, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("core: ArrangeDates needs a selector")
+	}
+	n := sel.N()
+	if len(out) != n || len(in) != n {
+		return nil, fmt.Errorf("core: supply/demand vectors (%d/%d) must match selector size %d", len(out), len(in), n)
+	}
+	offersAt := make([][]int32, n)
+	requestsAt := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if out[i] < 0 || in[i] < 0 {
+			return nil, fmt.Errorf("core: negative supply/demand at node %d", i)
+		}
+		for k := 0; k < out[i]; k++ {
+			dest := sel.Pick(s)
+			offersAt[dest] = append(offersAt[dest], int32(i))
+		}
+		for k := 0; k < in[i]; k++ {
+			dest := sel.Pick(s)
+			requestsAt[dest] = append(requestsAt[dest], int32(i))
+		}
+	}
+	var dates []Date
+	for v := 0; v < n; v++ {
+		MatchRendezvous(offersAt[v], requestsAt[v], s, func(sender, receiver int32) {
+			dates = append(dates, Date{Sender: int(sender), Receiver: int(receiver)})
+		})
+	}
+	return dates, nil
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: the
+// heterogeneous dating service (Algorithm 1).
+//
+// In every round, each node i sends bout(i) "sending requests" (offers of a
+// unit of outgoing bandwidth) and bin(i) "receiving requests" (demands for a
+// unit of incoming bandwidth) to nodes drawn from a common selection
+// distribution. Each node then acts as a rendezvous point for the requests
+// it received: with s offers and r demands it keeps q = min(s, r) of each,
+// chosen uniformly at random, produces a uniform random perfect matching
+// between them, and answers each matched offer with the address of its
+// partner. Matched pairs are "dates": sender/receiver pairs along which one
+// unit-size message may flow without ever exceeding any node's bandwidth.
+//
+// The paper proves that with high probability a constant fraction of
+// m = min(Bin, Bout) — everything a centralized matchmaker could arrange —
+// is organized this way, for any common selection distribution (uniform:
+// fraction ≈ 0.47; DHT-interval: ≥ 0.52 empirically).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Selector is the common selection distribution with which nodes address
+// their requests. The paper's only requirement is that every node uses the
+// same distribution for both request kinds.
+type Selector interface {
+	// Pick returns the index of the node a request is addressed to.
+	Pick(s *rng.Stream) int
+	// N returns the number of addressable nodes.
+	N() int
+}
+
+// UniformSelector picks nodes uniformly at random — the classical rumor
+// spreading assumption the paper relaxes.
+type UniformSelector struct{ n int }
+
+// NewUniformSelector returns a uniform selector over n nodes.
+func NewUniformSelector(n int) (UniformSelector, error) {
+	if n <= 0 {
+		return UniformSelector{}, fmt.Errorf("core: uniform selector needs n > 0, got %d", n)
+	}
+	return UniformSelector{n: n}, nil
+}
+
+// Pick implements Selector.
+func (u UniformSelector) Pick(s *rng.Stream) int { return s.Intn(u.n) }
+
+// N implements Selector.
+func (u UniformSelector) N() int { return u.n }
+
+// WeightedSelector picks node i with probability proportional to an
+// arbitrary weight vector, via an O(1) alias table. It models any skewed
+// selection distribution (Zipf popularity, two-point masses, measured DHT
+// interval weights).
+type WeightedSelector struct{ table *rng.Alias }
+
+// NewWeightedSelector builds a selector from non-negative weights.
+func NewWeightedSelector(weights []float64) (WeightedSelector, error) {
+	t, err := rng.NewAlias(weights)
+	if err != nil {
+		return WeightedSelector{}, err
+	}
+	return WeightedSelector{table: t}, nil
+}
+
+// Pick implements Selector.
+func (w WeightedSelector) Pick(s *rng.Stream) int { return w.table.Sample(s) }
+
+// N implements Selector.
+func (w WeightedSelector) N() int { return w.table.N() }
+
+// RingSelector selects the DHT node responsible for a uniformly random
+// point — the exact distribution of Section 4 of the paper: each node is
+// chosen with probability equal to its arc length.
+type RingSelector struct{ ring *overlay.Ring }
+
+// NewRingSelector wraps a DHT ring as a selection distribution.
+func NewRingSelector(r *overlay.Ring) (RingSelector, error) {
+	if r == nil {
+		return RingSelector{}, fmt.Errorf("core: ring selector needs a ring")
+	}
+	return RingSelector{ring: r}, nil
+}
+
+// Pick implements Selector.
+func (rs RingSelector) Pick(s *rng.Stream) int { return rs.ring.PickOwner(s) }
+
+// N implements Selector.
+func (rs RingSelector) N() int { return rs.ring.N() }
+
+// Date is one arranged communication: Sender may transfer one unit-size
+// message to Receiver this round.
+type Date struct {
+	Sender   int
+	Receiver int
+}
+
+// RoundResult reports one dating-service round.
+type RoundResult struct {
+	Dates []Date // the arranged communications
+	// OffersSent and RequestsSent count the control messages of the round
+	// (Bout and Bin respectively when all nodes participate).
+	OffersSent   int
+	RequestsSent int
+	// PerNodeOut[i] and PerNodeIn[i] count node i's matched outgoing and
+	// incoming units; the capacity invariant is PerNodeOut[i] <= bout(i)
+	// and PerNodeIn[i] <= bin(i), always.
+	PerNodeOut []int
+	PerNodeIn  []int
+}
+
+// Fraction returns len(Dates)/m, the figure-of-merit of Figure 1.
+func (r RoundResult) Fraction(m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return float64(len(r.Dates)) / float64(m)
+}
+
+// Service runs dating-service rounds for a fixed bandwidth profile and
+// selection distribution. A Service reuses internal scratch buffers between
+// rounds and is therefore not safe for concurrent use; create one Service
+// per goroutine.
+type Service struct {
+	profile bandwidth.Profile
+	sel     Selector
+
+	// scratch, reused across rounds
+	offersAt   [][]int32
+	requestsAt [][]int32
+	touched    []int32 // rendezvous nodes that received anything this round
+}
+
+// NewService validates the configuration and returns a Service. The profile
+// must have positive bandwidths and match the selector's node count.
+func NewService(p bandwidth.Profile, sel Selector) (*Service, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("core: service needs a selector")
+	}
+	if _, err := p.Ratio(); err != nil {
+		return nil, err
+	}
+	if p.N() != sel.N() {
+		return nil, fmt.Errorf("core: profile has %d nodes but selector addresses %d", p.N(), sel.N())
+	}
+	n := p.N()
+	return &Service{
+		profile:    p,
+		sel:        sel,
+		offersAt:   make([][]int32, n),
+		requestsAt: make([][]int32, n),
+	}, nil
+}
+
+// Profile returns the service's bandwidth profile.
+func (sv *Service) Profile() bandwidth.Profile { return sv.profile }
+
+// N returns the number of nodes.
+func (sv *Service) N() int { return sv.profile.N() }
+
+// M returns m = min(Bin, Bout), the centralized optimum per round.
+func (sv *Service) M() int { return sv.profile.M() }
+
+// RunRound executes Algorithm 1 once and returns the arranged dates.
+// Participate(i) == false nodes are skipped entirely (crashed peers);
+// pass nil to include everyone.
+func (sv *Service) RunRound(s *rng.Stream) RoundResult {
+	return sv.RunRoundFiltered(s, nil)
+}
+
+// RunRoundFiltered is RunRound with an optional liveness predicate. Crashed
+// nodes neither emit requests nor act as rendezvous points, and requests
+// addressed to them are lost — matching the behavior of a real overlay
+// where a dead rendezvous simply never answers.
+func (sv *Service) RunRoundFiltered(s *rng.Stream, alive func(i int) bool) RoundResult {
+	n := sv.profile.N()
+	sv.touched = sv.touched[:0]
+
+	res := RoundResult{
+		PerNodeOut: make([]int, n),
+		PerNodeIn:  make([]int, n),
+	}
+
+	// Step 1: every live node scatters its offers and demands.
+	for i := 0; i < n; i++ {
+		if alive != nil && !alive(i) {
+			continue
+		}
+		for k := 0; k < sv.profile.Out[i]; k++ {
+			dest := sv.sel.Pick(s)
+			if alive != nil && !alive(dest) {
+				continue // lost: rendezvous is down
+			}
+			if len(sv.offersAt[dest]) == 0 && len(sv.requestsAt[dest]) == 0 {
+				sv.touched = append(sv.touched, int32(dest))
+			}
+			sv.offersAt[dest] = append(sv.offersAt[dest], int32(i))
+			res.OffersSent++
+		}
+		for k := 0; k < sv.profile.In[i]; k++ {
+			dest := sv.sel.Pick(s)
+			if alive != nil && !alive(dest) {
+				continue
+			}
+			if len(sv.offersAt[dest]) == 0 && len(sv.requestsAt[dest]) == 0 {
+				sv.touched = append(sv.touched, int32(dest))
+			}
+			sv.requestsAt[dest] = append(sv.requestsAt[dest], int32(i))
+			res.RequestsSent++
+		}
+	}
+
+	// Steps 2-3: every rendezvous matches what it received.
+	for _, v := range sv.touched {
+		offers := sv.offersAt[v]
+		requests := sv.requestsAt[v]
+		MatchRendezvous(offers, requests, s, func(sender, receiver int32) {
+			res.Dates = append(res.Dates, Date{Sender: int(sender), Receiver: int(receiver)})
+			res.PerNodeOut[sender]++
+			res.PerNodeIn[receiver]++
+		})
+		sv.offersAt[v] = offers[:0]
+		sv.requestsAt[v] = requests[:0]
+	}
+	return res
+}
+
+// MatchRendezvous implements the rendezvous step of Algorithm 1 for one
+// node: keep q = min(len(offers), len(requests)) requests of each kind
+// chosen uniformly at random and emit a uniform random perfect matching
+// between them. Both input slices are shuffled in place.
+//
+// Shuffling each list fully and pairing the first q elements is equivalent
+// to (uniform q-subset of offers) x (uniform q-subset of requests) x
+// (uniform bijection), which is the distribution the paper's Lemma 3
+// requires.
+func MatchRendezvous(offers, requests []int32, s *rng.Stream, emit func(sender, receiver int32)) {
+	q := len(offers)
+	if len(requests) < q {
+		q = len(requests)
+	}
+	if q == 0 {
+		return
+	}
+	shuffleInt32(offers, s)
+	shuffleInt32(requests, s)
+	for j := 0; j < q; j++ {
+		emit(offers[j], requests[j])
+	}
+}
+
+func shuffleInt32(p []int32, s *rng.Stream) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ValidateCapacities checks the paper's core safety property on a round
+// result: no node exceeds its incoming or outgoing bandwidth, and every
+// date endpoint is a valid node.
+func ValidateCapacities(res RoundResult, p bandwidth.Profile) error {
+	n := p.N()
+	out := make([]int, n)
+	in := make([]int, n)
+	for _, d := range res.Dates {
+		if d.Sender < 0 || d.Sender >= n || d.Receiver < 0 || d.Receiver >= n {
+			return fmt.Errorf("core: date %v references invalid node", d)
+		}
+		out[d.Sender]++
+		in[d.Receiver]++
+	}
+	for i := 0; i < n; i++ {
+		if out[i] > p.Out[i] {
+			return fmt.Errorf("core: node %d sends %d > bout %d", i, out[i], p.Out[i])
+		}
+		if in[i] > p.In[i] {
+			return fmt.Errorf("core: node %d receives %d > bin %d", i, in[i], p.In[i])
+		}
+		if out[i] != res.PerNodeOut[i] || in[i] != res.PerNodeIn[i] {
+			return fmt.Errorf("core: per-node counters disagree with dates at node %d", i)
+		}
+	}
+	return nil
+}

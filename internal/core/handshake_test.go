@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+func TestHandshakeValidation(t *testing.T) {
+	sel, _ := NewUniformSelector(4)
+	if _, err := NewHandshake(bandwidth.Homogeneous(5, 1), sel, 1); err == nil {
+		t.Error("accepted node-count mismatch")
+	}
+	if _, err := NewHandshake(bandwidth.Homogeneous(4, 1), nil, 1); err == nil {
+		t.Error("accepted nil selector")
+	}
+	h, err := NewHandshake(bandwidth.Homogeneous(4, 1), sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := simnet.NewNetwork(3)
+	if _, err := h.RunRound(nw); err == nil {
+		t.Error("accepted network-size mismatch")
+	}
+}
+
+func TestHandshakeCapacityAndValidity(t *testing.T) {
+	const n = 40
+	p := bandwidth.Homogeneous(n, 2)
+	sel, _ := NewUniformSelector(n)
+	h, err := NewHandshake(p, sel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := simnet.NewNetwork(n)
+	for round := 0; round < 5; round++ {
+		dates, err := h.RunRound(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, n)
+		in := make([]int, n)
+		for _, d := range dates {
+			out[d.Sender]++
+			in[d.Receiver]++
+		}
+		for i := 0; i < n; i++ {
+			if out[i] > p.Out[i] || in[i] > p.In[i] {
+				t.Fatalf("round %d: node %d over capacity (out %d, in %d)", round, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestHandshakeMessageAccounting(t *testing.T) {
+	// One dating round = scatter (Bout + Bin tiny messages) + answers (one
+	// per offer) + payloads (one per date): the protocol's total overhead is
+	// Bout + Bin + Bout control messages, each payload-free.
+	const n, b = 30, 1
+	p := bandwidth.Homogeneous(n, b)
+	sel, _ := NewUniformSelector(n)
+	h, _ := NewHandshake(p, sel, 11)
+	nw, _ := simnet.NewNetwork(n)
+	dates, err := h.RunRound(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.ByKind[KindOffer] != int64(n*b) {
+		t.Fatalf("offers sent %d, want %d", st.ByKind[KindOffer], n*b)
+	}
+	if st.ByKind[KindRequest] != int64(n*b) {
+		t.Fatalf("requests sent %d, want %d", st.ByKind[KindRequest], n*b)
+	}
+	if st.ByKind[KindAnswer] != int64(n*b) {
+		t.Fatalf("answers sent %d, want %d (every offer must be answered)", st.ByKind[KindAnswer], n*b)
+	}
+	if st.ByKind[KindPayload] != int64(len(dates)) {
+		t.Fatalf("payloads %d but dates %d", st.ByKind[KindPayload], len(dates))
+	}
+	if st.Rounds != 3 {
+		t.Fatalf("network rounds %d, want 3 per dating round", st.Rounds)
+	}
+}
+
+func TestHandshakeWithCrashedNodes(t *testing.T) {
+	const n = 50
+	p := bandwidth.Homogeneous(n, 1)
+	sel, _ := NewUniformSelector(n)
+	h, _ := NewHandshake(p, sel, 13)
+	nw, _ := simnet.NewNetwork(n)
+	for i := 0; i < 10; i++ {
+		nw.Kill(i)
+	}
+	dates, err := h.RunRound(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dates) == 0 {
+		t.Fatal("no dates despite 40 live nodes")
+	}
+	for _, d := range dates {
+		if d.Sender < 10 || d.Receiver < 10 {
+			t.Fatalf("date %v involves crashed node", d)
+		}
+	}
+}
+
+func TestHandshakeFractionMatchesFlat(t *testing.T) {
+	// The message-level protocol must realize statistically the same number
+	// of dates as the flat RunRound implementation.
+	const n, rounds = 200, 30
+	p := bandwidth.Homogeneous(n, 1)
+	sel, _ := NewUniformSelector(n)
+
+	h, _ := NewHandshake(p, sel, 17)
+	nw, _ := simnet.NewNetwork(n)
+	hsTotal := 0
+	for r := 0; r < rounds; r++ {
+		dates, err := h.RunRound(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hsTotal += len(dates)
+	}
+
+	sv, _ := NewService(p, sel)
+	s := rng.New(17)
+	flatTotal := 0
+	for r := 0; r < rounds; r++ {
+		flatTotal += len(sv.RunRound(s).Dates)
+	}
+
+	hsFrac := float64(hsTotal) / float64(rounds*n)
+	flatFrac := float64(flatTotal) / float64(rounds*n)
+	if hsFrac < flatFrac-0.05 || hsFrac > flatFrac+0.05 {
+		t.Fatalf("handshake fraction %.4f vs flat %.4f", hsFrac, flatFrac)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(-1); err == nil {
+		t.Error("accepted negative latency")
+	}
+}
+
+func TestPipelineWarmupAndFlow(t *testing.T) {
+	pl, err := NewPipeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Date{
+		{{0, 1}}, {{1, 2}}, {{2, 3}}, {{3, 4}}, {{4, 5}},
+	}
+	var matured [][]Date
+	for _, b := range batches {
+		if out, ok := pl.Tick(b); ok {
+			matured = append(matured, out)
+		}
+	}
+	// With latency 3, ticks 1-3 are warm-up; ticks 4 and 5 mature batches
+	// 1 and 2.
+	if len(matured) != 2 {
+		t.Fatalf("matured %d batches, want 2", len(matured))
+	}
+	if matured[0][0].Sender != 0 || matured[1][0].Sender != 1 {
+		t.Fatalf("batches matured out of order: %v", matured)
+	}
+	rest := pl.Drain()
+	if len(rest) != 3 {
+		t.Fatalf("drained %d batches, want 3", len(rest))
+	}
+	if pl.Matured() != 5 {
+		t.Fatalf("total matured %d", pl.Matured())
+	}
+}
+
+func TestPipelineZeroLatency(t *testing.T) {
+	pl, _ := NewPipeline(0)
+	out, ok := pl.Tick([]Date{{7, 8}})
+	if !ok || len(out) != 1 || out[0].Sender != 7 {
+		t.Fatalf("zero-latency pipeline delayed the batch: %v %v", out, ok)
+	}
+}
+
+func TestTimeForClosedForm(t *testing.T) {
+	// Section 4: k rounds cost Theta(log n + k) pipelined, k*log n naive.
+	if got := TimeFor(10, 7, true); got != 17 {
+		t.Fatalf("pipelined = %d, want 17", got)
+	}
+	if got := TimeFor(10, 7, false); got != 70 {
+		t.Fatalf("naive = %d, want 70", got)
+	}
+	if got := TimeFor(0, 7, true); got != 0 {
+		t.Fatalf("zero rounds = %d", got)
+	}
+	if got := TimeFor(5, 0, false); got != 5 {
+		t.Fatalf("latency-0 naive = %d, want 5", got)
+	}
+}
+
+func TestPipelineMatchesClosedForm(t *testing.T) {
+	// Simulated pipeline: time steps to mature k batches == latency + k.
+	const k, latency = 12, 5
+	pl, _ := NewPipeline(latency)
+	steps := 0
+	maturedBatches := 0
+	for maturedBatches < k {
+		steps++
+		var issued []Date
+		if _, ok := pl.Tick(issued); ok {
+			maturedBatches++
+		}
+	}
+	if steps != TimeFor(k, latency, true) {
+		t.Fatalf("simulated %d steps, closed form %d", steps, TimeFor(k, latency, true))
+	}
+}

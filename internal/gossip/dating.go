@@ -1,0 +1,80 @@
+package gossip
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// datingStep adapts the dating service as a rumor spreading round: run
+// Algorithm 1, then transfer the rumor along every date whose sender was
+// informed at the start of the round.
+//
+// Per the paper, the protocol is oblivious: informed nodes keep issuing
+// receiving requests and uninformed nodes keep issuing offers (a date from
+// an uninformed sender simply carries nothing useful). This wastes some
+// bandwidth but keeps the protocol simple and churn-tolerant, and the
+// O(log n) bound holds regardless (Theorem 4).
+func datingStep(svc *core.Service) stepFunc {
+	return func(st *state, s *rng.Stream) {
+		var res core.RoundResult
+		if anyDead(st.alive) {
+			res = svc.RunRoundFiltered(s, func(i int) bool { return st.alive[i] })
+		} else {
+			res = svc.RunRound(s)
+		}
+		for _, d := range res.Dates {
+			// Every date consumes bandwidth on both sides whether or not it
+			// carries the rumor; loads therefore count all dates, which by
+			// construction remain within the profile.
+			st.out[d.Sender]++
+			st.in[d.Receiver]++
+			if st.informed[d.Sender] {
+				st.next[d.Receiver] = true
+			}
+		}
+	}
+}
+
+func anyDead(alive []bool) bool {
+	for _, a := range alive {
+		if !a {
+			return true
+		}
+	}
+	return false
+}
+
+// PhaseBoundaries analyzes an I_t history against the three-phase structure
+// of Theorem 4's proof: phase 1 ends when I_t reaches max(m/n, log n);
+// phase 2 ends when I_t reaches m/2; phase 3 ends at completion. It returns
+// the 1-based round at which each phase ended (0 if never reached).
+func PhaseBoundaries(itHistory []int, m, n int) (endPhase1, endPhase2, endPhase3 int) {
+	if n <= 0 {
+		return 0, 0, 0
+	}
+	log2n := 0
+	for v := 1; v < n; v <<= 1 {
+		log2n++
+	}
+	threshold1 := m / n
+	if log2n > threshold1 {
+		threshold1 = log2n
+	}
+	if threshold1 < 1 {
+		threshold1 = 1
+	}
+	threshold2 := m / 2
+	for i, it := range itHistory {
+		round := i + 1
+		if endPhase1 == 0 && it >= threshold1 {
+			endPhase1 = round
+		}
+		if endPhase2 == 0 && it >= threshold2 {
+			endPhase2 = round
+		}
+	}
+	if len(itHistory) > 0 {
+		endPhase3 = len(itHistory)
+	}
+	return endPhase1, endPhase2, endPhase3
+}

@@ -1,0 +1,198 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// LiveConfig parameterizes a fully message-level spreading run: the dating
+// service's three-step handshake (scatter, answer, payload) executed by one
+// goroutine per peer on the simnet.Live engine. Nothing is shared between
+// peers except messages; each peer's only state is whether it knows the
+// rumor. This is the protocol exactly as a real deployment would run it.
+type LiveConfig struct {
+	Profile bandwidth.Profile
+	// Selector defaults to uniform over the profile's nodes.
+	Selector core.Selector
+	Source   int
+	// MaxDatingRounds caps the run (0 = generous log-based default).
+	MaxDatingRounds int
+	Seed            uint64
+	// Concurrent selects the Live engine (true) or its sequential twin
+	// (false); both produce identical results for the same seed.
+	Concurrent bool
+}
+
+// LiveResult reports a message-level spreading run.
+type LiveResult struct {
+	DatingRounds int
+	Completed    bool
+	History      []int // informed count after each dating round
+	// MaxInPayloads is the largest number of payload messages any node
+	// received in one dating round; the dating service guarantees it never
+	// exceeds that node's bin.
+	MaxInPayloads int
+	Traffic       simnet.Stats
+}
+
+// livePeerState is the per-peer protocol state. Peer i writes only index i
+// of each slice, so the goroutines never race; the engine's round barrier
+// publishes the writes to the coordinator.
+type livePeerState struct {
+	informed   []bool
+	inPayloads []int // payloads received in the current dating round
+}
+
+// RunLive executes rumor spreading with the dating-service handshake on the
+// live engine.
+func RunLive(cfg LiveConfig) (LiveResult, error) {
+	n := cfg.Profile.N()
+	if n == 0 {
+		return LiveResult{}, fmt.Errorf("gossip: live run needs a profile")
+	}
+	if _, err := cfg.Profile.Ratio(); err != nil {
+		return LiveResult{}, err
+	}
+	if cfg.Source < 0 || cfg.Source >= n {
+		return LiveResult{}, fmt.Errorf("gossip: source %d out of range [0,%d)", cfg.Source, n)
+	}
+	sel := cfg.Selector
+	if sel == nil {
+		u, err := core.NewUniformSelector(n)
+		if err != nil {
+			return LiveResult{}, err
+		}
+		sel = u
+	}
+	if sel.N() != n {
+		return LiveResult{}, fmt.Errorf("gossip: selector addresses %d nodes, profile has %d", sel.N(), n)
+	}
+	maxDating := cfg.MaxDatingRounds
+	if maxDating <= 0 {
+		maxDating = 64
+		for v := 1; v < n; v <<= 1 {
+			maxDating += 64
+		}
+	}
+
+	st := &livePeerState{
+		informed:   make([]bool, n),
+		inPayloads: make([]int, n),
+	}
+	st.informed[cfg.Source] = true
+
+	step := liveStep(cfg.Profile, sel, st)
+	eng, err := simnet.NewLive(n, cfg.Seed, step)
+	if err != nil {
+		return LiveResult{}, err
+	}
+
+	run := func(steps int) simnet.Stats {
+		if cfg.Concurrent {
+			return eng.Run(steps)
+		}
+		return eng.RunSequential(steps)
+	}
+
+	var res LiveResult
+	// Prologue: the first scatter (phase 0 of dating round 1, no payloads
+	// in flight yet). After it, every loop iteration runs phases 1 and 2 of
+	// the current dating round plus phase 0 of the next, which absorbs the
+	// payloads — so the informed count inspected after each iteration is
+	// exact for that round.
+	run(1)
+	for round := 1; round <= maxDating; round++ {
+		for i := range st.inPayloads {
+			st.inPayloads[i] = 0
+		}
+		res.Traffic = run(3)
+		count := 0
+		for i := 0; i < n; i++ {
+			if st.informed[i] {
+				count++
+			}
+			if st.inPayloads[i] > res.MaxInPayloads {
+				res.MaxInPayloads = st.inPayloads[i]
+			}
+		}
+		res.DatingRounds = round
+		res.History = append(res.History, count)
+		if count == n {
+			res.Completed = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// liveStep builds the per-peer state machine. Network round r is phase
+// r % 3 of a dating round:
+//
+//	phase 0: absorb payloads from the previous round, scatter offers and
+//	         receiving requests;
+//	phase 1: act as rendezvous — match, answer offers with partner address;
+//	phase 2: senders with a partner transmit the payload, carrying the
+//	         rumor bit.
+func liveStep(profile bandwidth.Profile, sel core.Selector, st *livePeerState) simnet.StepFunc {
+	return func(node, round int, inbox []simnet.Message, s *rng.Stream) []simnet.Message {
+		switch round % 3 {
+		case 0:
+			var out []simnet.Message
+			for _, m := range inbox {
+				if m.Kind == core.KindPayload {
+					st.inPayloads[node]++
+					if m.A == 1 {
+						st.informed[node] = true
+					}
+				}
+			}
+			for k := 0; k < profile.Out[node]; k++ {
+				out = append(out, simnet.Message{To: sel.Pick(s), Kind: core.KindOffer})
+			}
+			for k := 0; k < profile.In[node]; k++ {
+				out = append(out, simnet.Message{To: sel.Pick(s), Kind: core.KindRequest})
+			}
+			return out
+
+		case 1:
+			var offers, requests []int32
+			for _, m := range inbox {
+				switch m.Kind {
+				case core.KindOffer:
+					offers = append(offers, int32(m.From))
+				case core.KindRequest:
+					requests = append(requests, int32(m.From))
+				}
+			}
+			q := len(offers)
+			if len(requests) < q {
+				q = len(requests)
+			}
+			var out []simnet.Message
+			core.MatchRendezvous(offers, requests, s, func(sender, receiver int32) {
+				out = append(out, simnet.Message{To: int(sender), Kind: core.KindAnswer, A: int64(receiver)})
+			})
+			for _, o := range offers[q:] {
+				out = append(out, simnet.Message{To: int(o), Kind: core.KindAnswer, A: -1})
+			}
+			return out
+
+		default: // phase 2
+			var out []simnet.Message
+			rumor := int64(0)
+			if st.informed[node] {
+				rumor = 1
+			}
+			for _, m := range inbox {
+				if m.Kind == core.KindAnswer && m.A >= 0 {
+					out = append(out, simnet.Message{To: int(m.A), Kind: core.KindPayload, A: rumor})
+				}
+			}
+			return out
+		}
+	}
+}

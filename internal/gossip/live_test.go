@@ -1,0 +1,202 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+func TestRunLiveValidation(t *testing.T) {
+	if _, err := RunLive(LiveConfig{}); err == nil {
+		t.Error("accepted empty profile")
+	}
+	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Source: 9}); err == nil {
+		t.Error("accepted bad source")
+	}
+	sel, _ := core.NewUniformSelector(3)
+	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Selector: sel}); err == nil {
+		t.Error("accepted selector size mismatch")
+	}
+	badProfile := bandwidth.Profile{In: []int{0, 1}, Out: []int{1, 1}}
+	if _, err := RunLive(LiveConfig{Profile: badProfile}); err == nil {
+		t.Error("accepted zero-bandwidth profile")
+	}
+}
+
+func TestRunLiveCompletes(t *testing.T) {
+	res, err := RunLive(LiveConfig{
+		Profile:    bandwidth.Homogeneous(256, 1),
+		Seed:       1,
+		Concurrent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("live spread incomplete after %d dating rounds", res.DatingRounds)
+	}
+	last := res.History[len(res.History)-1]
+	if last != 256 {
+		t.Fatalf("final informed %d", last)
+	}
+}
+
+func TestRunLiveConcurrentEqualsSequential(t *testing.T) {
+	// The goroutine engine and the single-threaded engine must produce the
+	// exact same spreading trace for the same seed — the protocol has no
+	// hidden scheduling dependence.
+	mk := func(concurrent bool) LiveResult {
+		res, err := RunLive(LiveConfig{
+			Profile:    bandwidth.Homogeneous(200, 1),
+			Seed:       7,
+			Concurrent: concurrent,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(true), mk(false)
+	if a.DatingRounds != b.DatingRounds || a.Completed != b.Completed {
+		t.Fatalf("rounds differ: %d vs %d", a.DatingRounds, b.DatingRounds)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("history diverges at round %d: %d vs %d", i+1, a.History[i], b.History[i])
+		}
+	}
+	if a.Traffic.Sent != b.Traffic.Sent {
+		t.Fatalf("traffic differs: %d vs %d", a.Traffic.Sent, b.Traffic.Sent)
+	}
+}
+
+func TestRunLiveRespectsBandwidth(t *testing.T) {
+	// The handshake guarantees no node receives more payloads per round
+	// than its incoming bandwidth.
+	for _, b := range []int{1, 3} {
+		res, err := RunLive(LiveConfig{
+			Profile:    bandwidth.Homogeneous(128, b),
+			Seed:       3,
+			Concurrent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxInPayloads > b {
+			t.Fatalf("bandwidth %d: a node received %d payloads in one round", b, res.MaxInPayloads)
+		}
+		if res.MaxInPayloads == 0 {
+			t.Fatal("no payloads at all")
+		}
+	}
+}
+
+func TestRunLiveHistoryMonotone(t *testing.T) {
+	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(150, 1), Seed: 5, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i, c := range res.History {
+		if c < prev {
+			t.Fatalf("informed count dropped at dating round %d", i+1)
+		}
+		prev = c
+	}
+}
+
+func TestRunLiveMatchesFlatSimulatorStatistically(t *testing.T) {
+	// The message-level run should take about as many rounds as the flat
+	// simulator (same protocol, different execution substrate).
+	var liveSum, flatSum float64
+	const reps = 5
+	for rep := 0; rep < reps; rep++ {
+		lr, err := RunLive(LiveConfig{
+			Profile:    bandwidth.Homogeneous(300, 1),
+			Seed:       uint64(100 + rep),
+			Concurrent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lr.Completed {
+			t.Fatal("live incomplete")
+		}
+		liveSum += float64(lr.DatingRounds)
+
+		fr, err := Run(Config{Algorithm: Dating, N: 300, Source: 0}, rng.New(uint64(100+rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatSum += float64(fr.Rounds)
+	}
+	liveMean, flatMean := liveSum/reps, flatSum/reps
+	if liveMean > 1.5*flatMean || flatMean > 1.5*liveMean {
+		t.Fatalf("live %.1f rounds vs flat %.1f: substrates disagree", liveMean, flatMean)
+	}
+}
+
+func TestRunLiveOverheadShape(t *testing.T) {
+	// Per dating round, control traffic is 2 scatter messages per unit of
+	// bandwidth plus one answer per offer; payloads are at most min-side
+	// bandwidth. Verify the traffic mix.
+	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(100, 1), Seed: 9, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Traffic
+	offers := st.ByKind[core.KindOffer]
+	answers := st.ByKind[core.KindAnswer]
+	payloads := st.ByKind[core.KindPayload]
+	if offers == 0 || answers == 0 || payloads == 0 {
+		t.Fatalf("missing traffic classes: %d/%d/%d", offers, answers, payloads)
+	}
+	if answers > offers {
+		t.Fatalf("more answers (%d) than offers (%d)", answers, offers)
+	}
+	if payloads > answers {
+		t.Fatalf("more payloads (%d) than answers (%d)", payloads, answers)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d messages with no dead nodes", st.Dropped)
+	}
+}
+
+func TestLiveStepPhases(t *testing.T) {
+	// Unit-test the state machine directly: a rendezvous holding one offer
+	// and one request must emit exactly one positive answer.
+	profile := bandwidth.Homogeneous(4, 1)
+	sel, _ := core.NewUniformSelector(4)
+	st := &livePeerState{informed: make([]bool, 4), inPayloads: make([]int, 4)}
+	step := liveStep(profile, sel, st)
+	inbox := []simnet.Message{
+		{From: 1, To: 0, Kind: core.KindOffer},
+		{From: 2, To: 0, Kind: core.KindRequest},
+	}
+	out := step(0, 1, inbox, rng.New(1)) // round 1 = phase 1 (rendezvous)
+	if len(out) != 1 {
+		t.Fatalf("rendezvous emitted %d messages, want 1", len(out))
+	}
+	if out[0].Kind != core.KindAnswer || out[0].To != 1 || out[0].A != 2 {
+		t.Fatalf("bad answer: %+v", out[0])
+	}
+
+	// Phase 2: an informed node with a positive answer sends the rumor.
+	st.informed[1] = true
+	out = step(1, 2, []simnet.Message{{From: 0, To: 1, Kind: core.KindAnswer, A: 2}}, rng.New(2))
+	if len(out) != 1 || out[0].Kind != core.KindPayload || out[0].A != 1 || out[0].To != 2 {
+		t.Fatalf("bad payload: %+v", out)
+	}
+
+	// Phase 0: the receiver absorbs the payload and becomes informed.
+	out = step(2, 3, []simnet.Message{{From: 1, To: 2, Kind: core.KindPayload, A: 1}}, rng.New(3))
+	if !st.informed[2] {
+		t.Fatal("payload did not inform the receiver")
+	}
+	if len(out) != 2 { // one offer + one request scattered
+		t.Fatalf("scatter emitted %d messages, want 2", len(out))
+	}
+}

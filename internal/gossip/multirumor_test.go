@@ -1,0 +1,184 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/rng"
+)
+
+func TestMultiRumorValidation(t *testing.T) {
+	s := rng.New(1)
+	if _, err := RunMultiRumor(MultiRumorConfig{}, s); err == nil {
+		t.Error("accepted empty config")
+	}
+	if _, err := RunMultiRumor(MultiRumorConfig{N: 10}, s); err == nil {
+		t.Error("accepted zero injections")
+	}
+	if _, err := RunMultiRumor(MultiRumorConfig{
+		N: 10, Injections: []Injection{{Round: 1, Source: 10}},
+	}, s); err == nil {
+		t.Error("accepted out-of-range source")
+	}
+	if _, err := RunMultiRumor(MultiRumorConfig{
+		N: 10, Injections: []Injection{{Round: 0, Source: 0}},
+	}, s); err == nil {
+		t.Error("accepted round 0 injection")
+	}
+}
+
+func TestSingleRumorMatchesRun(t *testing.T) {
+	// One rumor injected at round 1 is exactly the Theorem 4 setting; the
+	// round counts should be statistically comparable to Run(Dating).
+	s := rng.New(2)
+	var multi, single float64
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		mr, err := RunMultiRumor(MultiRumorConfig{
+			N:          300,
+			Injections: []Injection{{Round: 1, Source: 0}},
+		}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mr.Completed {
+			t.Fatal("incomplete")
+		}
+		multi += float64(mr.Rounds)
+
+		sr, err := Run(Config{Algorithm: Dating, N: 300, Source: 0}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += float64(sr.Rounds)
+	}
+	if multi > 1.5*single || single > 1.5*multi {
+		t.Fatalf("single-rumor multi run (%.1f) diverges from Run (%.1f)", multi/reps, single/reps)
+	}
+}
+
+func TestMultiRumorAllDelivered(t *testing.T) {
+	s := rng.New(3)
+	const n = 200
+	cfg := MultiRumorConfig{
+		N: n,
+		Injections: []Injection{
+			{Round: 1, Source: 0},
+			{Round: 1, Source: 50},
+			{Round: 5, Source: 100},
+			{Round: 10, Source: 150},
+		},
+	}
+	res, err := RunMultiRumor(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete after %d rounds", res.Rounds)
+	}
+	for r, done := range res.PerRumorDone {
+		if done == 0 {
+			t.Fatalf("rumor %d never completed", r)
+		}
+		if done < cfg.Injections[r].Round {
+			t.Fatalf("rumor %d completed at %d before injection at %d", r, done, cfg.Injections[r].Round)
+		}
+	}
+	last := res.KnowledgeHist[len(res.KnowledgeHist)-1]
+	if last != n*len(cfg.Injections) {
+		t.Fatalf("final knowledge %d, want %d", last, n*len(cfg.Injections))
+	}
+}
+
+func TestMultiRumorKnowledgeMonotone(t *testing.T) {
+	s := rng.New(4)
+	res, err := RunMultiRumor(MultiRumorConfig{
+		N:          150,
+		Injections: []Injection{{Round: 1, Source: 0}, {Round: 3, Source: 1}},
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i, k := range res.KnowledgeHist {
+		if k < prev {
+			t.Fatalf("knowledge dropped at round %d", i+1)
+		}
+		prev = k
+	}
+}
+
+func TestMultiRumorLateInjection(t *testing.T) {
+	// A rumor injected late must still complete; its completion round is
+	// at least its injection round plus a spreading period.
+	s := rng.New(5)
+	res, err := RunMultiRumor(MultiRumorConfig{
+		N: 200,
+		Injections: []Injection{
+			{Round: 1, Source: 0},
+			{Round: 30, Source: 7},
+		},
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.PerRumorDone[1] <= 30 {
+		t.Fatalf("late rumor done at %d, injected at 30", res.PerRumorDone[1])
+	}
+}
+
+func TestForwardingPolicies(t *testing.T) {
+	// Both policies are live: every injected rumor reaches every node.
+	for _, policy := range []Forwarding{ForwardRandom, ForwardRoundRobin} {
+		s := rng.New(6)
+		res, err := RunMultiRumor(MultiRumorConfig{
+			N: 150,
+			Injections: []Injection{
+				{Round: 1, Source: 0}, {Round: 2, Source: 1}, {Round: 3, Source: 2},
+			},
+			Forwarding: policy,
+		}, s)
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if !res.Completed {
+			t.Fatalf("policy %v incomplete after %d rounds", policy, res.Rounds)
+		}
+	}
+}
+
+func TestMultiRumorHeterogeneous(t *testing.T) {
+	s := rng.New(7)
+	p, err := bandwidth.Zipf(200, 1.0, 8, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMultiRumor(MultiRumorConfig{
+		Profile:    p,
+		Injections: []Injection{{Round: 1, Source: 0}, {Round: 1, Source: 100}},
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("heterogeneous multi-rumor incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestMultiRumorMaxRounds(t *testing.T) {
+	s := rng.New(8)
+	res, err := RunMultiRumor(MultiRumorConfig{
+		N:          5000,
+		Injections: []Injection{{Round: 1, Source: 0}},
+		MaxRounds:  2,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Rounds > 2 {
+		t.Fatalf("round cap violated: %+v", res.Rounds)
+	}
+}

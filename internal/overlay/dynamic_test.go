@@ -1,0 +1,201 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewDynamicRingValidation(t *testing.T) {
+	if _, err := NewDynamicRing(0, rng.New(1)); err == nil {
+		t.Error("accepted n = 0")
+	}
+}
+
+func TestDynamicRingInitialState(t *testing.T) {
+	d, err := NewDynamicRing(10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 10 || d.AliveCount() != 10 {
+		t.Fatalf("N=%d alive=%d", d.N(), d.AliveCount())
+	}
+	for id := 0; id < 10; id++ {
+		if !d.Present(id) {
+			t.Fatalf("id %d not present initially", id)
+		}
+	}
+	if d.Present(-1) || d.Present(10) {
+		t.Fatal("out-of-range ids reported present")
+	}
+}
+
+func TestDynamicRingLeaveRejoin(t *testing.T) {
+	s := rng.New(3)
+	d, _ := NewDynamicRing(5, s)
+	if err := d.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Present(2) || d.AliveCount() != 4 {
+		t.Fatal("leave did not take effect")
+	}
+	if err := d.Leave(2); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if err := d.Rejoin(2, s); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Present(2) || d.AliveCount() != 5 {
+		t.Fatal("rejoin did not take effect")
+	}
+	if err := d.Rejoin(2, s); err == nil {
+		t.Fatal("double rejoin accepted")
+	}
+	if err := d.Rejoin(99, s); err == nil {
+		t.Fatal("out-of-range rejoin accepted")
+	}
+}
+
+func TestDynamicRingCannotEmpty(t *testing.T) {
+	s := rng.New(4)
+	d, _ := NewDynamicRing(2, s)
+	if err := d.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Leave(1); err == nil {
+		t.Fatal("removed the last node")
+	}
+}
+
+func TestDynamicRingPickOnlyPresent(t *testing.T) {
+	s := rng.New(5)
+	d, _ := NewDynamicRing(8, s)
+	for _, id := range []int{1, 3, 5} {
+		if err := d.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gone := map[int]bool{1: true, 3: true, 5: true}
+	for i := 0; i < 5000; i++ {
+		id, err := d.PickOwnerID(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gone[id] {
+			t.Fatalf("picked departed id %d", id)
+		}
+		if id < 0 || id >= 8 {
+			t.Fatalf("picked invalid id %d", id)
+		}
+	}
+}
+
+func TestDynamicRingReplaceMovesPosition(t *testing.T) {
+	s := rng.New(6)
+	d, _ := NewDynamicRing(4, s)
+	ringBefore, idsBefore, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posBefore uint64
+	for rank, id := range idsBefore {
+		if id == 1 {
+			posBefore = ringBefore.Position(rank)
+		}
+	}
+	if err := d.Replace(1, s); err != nil {
+		t.Fatal(err)
+	}
+	ringAfter, idsAfter, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AliveCount() != 4 {
+		t.Fatal("replace changed membership count")
+	}
+	var posAfter uint64
+	found := false
+	for rank, id := range idsAfter {
+		if id == 1 {
+			posAfter = ringAfter.Position(rank)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("replaced id missing from ring")
+	}
+	if posAfter == posBefore {
+		t.Fatal("replace kept the old position (2^-64 probability)")
+	}
+}
+
+func TestDynamicRingSnapshotConsistent(t *testing.T) {
+	s := rng.New(7)
+	d, _ := NewDynamicRing(100, s)
+	for i := 0; i < 30; i++ {
+		id := s.Intn(100)
+		if d.Present(id) && d.AliveCount() > 1 {
+			if err := d.Leave(id); err != nil {
+				t.Fatal(err)
+			}
+		} else if !d.Present(id) {
+			if err := d.Rejoin(id, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ring, ids, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.N() != d.AliveCount() || len(ids) != d.AliveCount() {
+		t.Fatalf("snapshot size %d/%d vs alive %d", ring.N(), len(ids), d.AliveCount())
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if !d.Present(id) || seen[id] {
+			t.Fatalf("snapshot lists bad id %d", id)
+		}
+		seen[id] = true
+	}
+	// Interval weights of the snapshot still sum to 1.
+	var sum float64
+	for _, w := range ring.IntervalWeights() {
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights sum to %v after churn", sum)
+	}
+}
+
+func TestDynamicRingDistributionTracksArcs(t *testing.T) {
+	// After churn, pick frequencies must match the *current* arc weights.
+	s := rng.New(8)
+	d, _ := NewDynamicRing(6, s)
+	for i := 0; i < 4; i++ {
+		id := 1 + s.Intn(5)
+		if d.Present(id) {
+			_ = d.Replace(id, s)
+		}
+	}
+	ring, ids, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ring.IntervalWeights()
+	counts := map[int]int{}
+	const draws = 150000
+	for i := 0; i < draws; i++ {
+		id, err := d.PickOwnerID(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[id]++
+	}
+	for rank, id := range ids {
+		got := float64(counts[id]) / draws
+		if got < w[rank]*0.9-0.01 || got > w[rank]*1.1+0.01 {
+			t.Errorf("id %d: frequency %.4f vs arc %.4f", id, got, w[rank])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package overlay
+
+import "fmt"
+
+// WithNode returns a new ring containing all current nodes plus one at
+// position p. The receiver is unmodified; finger tables of the new ring are
+// rebuilt. This models a node join — in a live DHT only O(log n) state
+// changes, but for simulation purposes a rebuild is equivalent.
+func (r *Ring) WithNode(p uint64) (*Ring, error) {
+	for _, q := range r.pos {
+		if q == p {
+			return nil, fmt.Errorf("overlay: position %d already occupied", p)
+		}
+	}
+	pos := make([]uint64, 0, len(r.pos)+1)
+	pos = append(pos, r.pos...)
+	pos = append(pos, p)
+	return RingFromPositions(pos)
+}
+
+// WithoutRank returns a new ring with the node at the given rank removed
+// (a node leave). The departing node's arc is absorbed by its successor,
+// exactly as in Chord.
+func (r *Ring) WithoutRank(rank int) (*Ring, error) {
+	if rank < 0 || rank >= len(r.pos) {
+		return nil, fmt.Errorf("overlay: rank %d out of range [0,%d)", rank, len(r.pos))
+	}
+	if len(r.pos) == 1 {
+		return nil, fmt.Errorf("overlay: cannot remove the last node")
+	}
+	pos := make([]uint64, 0, len(r.pos)-1)
+	pos = append(pos, r.pos[:rank]...)
+	pos = append(pos, r.pos[rank+1:]...)
+	return RingFromPositions(pos)
+}

@@ -1,0 +1,270 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range cases {
+		if _, err := NewAlias(w); err == nil {
+			t.Errorf("NewAlias(%v) accepted invalid weights", w)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := MustAlias(weights)
+	s := New(100)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(s)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 0.03*want {
+			t.Errorf("outcome %d: count %d, want %.0f +/- 3%%", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := MustAlias([]float64{3.5})
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(s) != 0 {
+			t.Fatal("single-outcome alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := MustAlias([]float64{0, 1, 0, 2})
+	s := New(2)
+	for i := 0; i < 100000; i++ {
+		v := a.Sample(s)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestAliasProbabilitiesSaneProperty(t *testing.T) {
+	// Property: for random positive weight vectors, empirical frequencies
+	// track normalized weights within a loose tolerance.
+	err := quick.Check(func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true // skip degenerate sizes
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			weights[i] = float64(r%16) + 1 // 1..16, all positive
+			sum += weights[i]
+		}
+		a := MustAlias(weights)
+		s := New(seed)
+		const draws = 30000
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			counts[a.Sample(s)]++
+		}
+		for i := range weights {
+			want := weights[i] / sum
+			got := float64(counts[i]) / draws
+			if math.Abs(got-want) > 0.05*want+0.01 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) accepted")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10, 0) accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("NewZipf(10, -1) accepted")
+	}
+}
+
+func TestZipfRanksDecreasing(t *testing.T) {
+	z, err := NewZipf(50, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(3)
+	counts := make([]int, 51)
+	for i := 0; i < 300000; i++ {
+		r := z.Sample(s)
+		if r < 1 || r > 50 {
+			t.Fatalf("Zipf rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 1 should dominate rank 10 by roughly 10^1.2 ~ 15.8x.
+	ratio := float64(counts[1]) / float64(counts[10])
+	if ratio < 10 || ratio > 25 {
+		t.Fatalf("Zipf rank1/rank10 ratio %.1f, want ~15.8", ratio)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	s := New(4)
+	if got := s.Binomial(10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := s.Binomial(10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+	if got := s.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	s := New(5)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{20, 0.25}, {100, 0.05}, {1000, 0.7}, {4, 0.5},
+	}
+	for _, c := range cases {
+		const reps = 20000
+		var sum, sumSq float64
+		for i := 0; i < reps; i++ {
+			v := float64(s.Binomial(c.n, c.p))
+			if v < 0 || v > float64(c.n) {
+				t.Fatalf("Binomial(%d,%v) out of range: %v", c.n, c.p, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / reps
+		wantMean := float64(c.n) * c.p
+		variance := sumSq/reps - mean*mean
+		wantVar := wantMean * (1 - c.p)
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.1 {
+			t.Errorf("Binomial(%d,%v) mean %.3f, want %.3f", c.n, c.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.2 {
+			t.Errorf("Binomial(%d,%v) var %.3f, want %.3f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := New(6)
+	for _, lambda := range []float64{0.25, 1, 4, 25, 100} {
+		const reps = 20000
+		var sum, sumSq float64
+		for i := 0; i < reps; i++ {
+			v := float64(s.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / reps
+		variance := sumSq/reps - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean %.3f", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("Poisson(%v) variance %.3f", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	s := New(7)
+	if got := s.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := s.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(8)
+	const p, reps = 0.2, 100000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		v := s.Geometric(p)
+		if v < 0 {
+			t.Fatalf("negative geometric %d", v)
+		}
+		sum += float64(v)
+	}
+	want := (1 - p) / p // mean of failures-before-success
+	if mean := sum / reps; math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("Geometric(%v) mean %.3f, want %.3f", p, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 50; i++ {
+		if s.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) != 0")
+		}
+	}
+}
+
+func TestHypergeometricExact(t *testing.T) {
+	s := New(10)
+	// Degenerate cases have deterministic answers.
+	if got := s.Hypergeometric(10, 10, 4); got != 4 {
+		t.Fatalf("all-success population: got %d", got)
+	}
+	if got := s.Hypergeometric(10, 0, 4); got != 0 {
+		t.Fatalf("no-success population: got %d", got)
+	}
+	if got := s.Hypergeometric(5, 3, 5); got != 3 {
+		t.Fatalf("full sample: got %d, want 3", got)
+	}
+}
+
+func TestHypergeometricMean(t *testing.T) {
+	s := New(11)
+	const n, succ, k, reps = 50, 20, 10, 50000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		v := s.Hypergeometric(n, succ, k)
+		if v < 0 || v > k || v > succ {
+			t.Fatalf("hypergeometric out of range: %d", v)
+		}
+		sum += float64(v)
+	}
+	want := float64(k) * float64(succ) / float64(n)
+	if mean := sum / reps; math.Abs(mean-want) > 0.03*want {
+		t.Fatalf("hypergeometric mean %.3f, want %.3f", mean, want)
+	}
+}
+
+func TestHypergeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid parameters")
+		}
+	}()
+	New(1).Hypergeometric(5, 6, 2)
+}

@@ -1,0 +1,329 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d differs: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestXoshiroZeroSeedValid(t *testing.T) {
+	s := New(0)
+	var orAll uint64
+	for i := 0; i < 64; i++ {
+		orAll |= s.Uint64()
+	}
+	if orAll == 0 {
+		t.Fatal("zero seed produced an all-zero stream")
+	}
+}
+
+func TestPCG32Determinism(t *testing.T) {
+	a := NewWithSource(NewPCG32(7))
+	b := NewWithSource(NewPCG32(7))
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("PCG streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	for name, src := range map[string]Source{"xoshiro": NewXoshiro256(9), "pcg": NewPCG32(9)} {
+		first := make([]uint64, 16)
+		for i := range first {
+			first[i] = src.Uint64()
+		}
+		src.Seed(9)
+		for i := range first {
+			if got := src.Uint64(); got != first[i] {
+				t.Fatalf("%s: re-seeded stream diverged at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestJumpChangesSequence(t *testing.T) {
+	a := NewXoshiro256(5)
+	b := NewXoshiro256(5)
+	b.Jump()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream overlapped original in %d of 100 draws", same)
+	}
+}
+
+func TestNewStreamsIndependentAndDeterministic(t *testing.T) {
+	a := NewStreams(3, 8)
+	b := NewStreams(3, 8)
+	for i := range a {
+		for d := 0; d < 32; d++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("stream %d not reproducible at draw %d", i, d)
+			}
+		}
+	}
+	// Distinct streams should not be identical.
+	c := NewStreams(3, 2)
+	if c[0].Uint64() == c[1].Uint64() && c[0].Uint64() == c[1].Uint64() {
+		t.Fatal("derived streams appear identical")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(11)
+	for _, n := range []uint64{1, 2, 3, 7, 10, 1 << 20, (1 << 40) + 13} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Uint64n(0)")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-style check: 10 buckets, 100k draws, each bucket should be
+	// within 5% of expectation. This is a loose statistical test with a
+	// fixed seed so it is fully deterministic.
+	s := New(1234)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: got %d, want %.0f +/- 5%%", b, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("IntRange(-3,3) hit %d of 7 values in 1000 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(77)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	s := New(78)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64Open()
+		if f <= 0 || f > 1 {
+			t.Fatalf("Float64Open out of (0,1]: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(79)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %.4f, want 0.5 +/- 0.005", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %.4f", rate)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(8)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %.4f, want 1 +/- 0.02", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(9)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s.src.Seed(seed)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniform(t *testing.T) {
+	// All 6 permutations of 3 elements should appear with ~equal frequency.
+	s := New(13)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		p := s.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(draws) / 6
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Errorf("perm %v: count %d, want %.0f +/- 6%%", p, c, want)
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(14)
+	orig := []int{5, 5, 1, 2, 9, 9, 9}
+	work := append([]int(nil), orig...)
+	s.ShuffleInts(work)
+	count := map[int]int{}
+	for _, v := range work {
+		count[v]++
+	}
+	if count[5] != 2 || count[1] != 1 || count[2] != 1 || count[9] != 3 {
+		t.Fatalf("shuffle changed multiset: %v", work)
+	}
+}
+
+func TestPermInto(t *testing.T) {
+	s := New(15)
+	dst := make([]int, 10)
+	s.PermInto(dst)
+	seen := make([]bool, 10)
+	for _, v := range dst {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("PermInto produced invalid permutation %v", dst)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(21)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d times", same)
+	}
+}

@@ -1,0 +1,100 @@
+package rng
+
+// SampleK returns k distinct indices drawn uniformly without replacement
+// from [0, n), in random order. It uses a partial Fisher–Yates shuffle,
+// O(n) space but only O(k) random draws. Requires 0 <= k <= n.
+//
+// The dating service uses this to choose which q = min(s, r) requests of
+// each kind a rendezvous node keeps (Algorithm 1, step "choose uniformly at
+// random q requests of each type").
+func (s *Stream) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleK with k out of range")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k]
+}
+
+// Reservoir maintains a uniform sample of fixed size over a stream of items
+// seen one at a time (Vitter's algorithm R). It is used by protocols that
+// must pick fairly among requests arriving incrementally — for instance, the
+// "fair PULL" baseline where a node satisfies exactly one of the requests it
+// received this round.
+type Reservoir struct {
+	k    int
+	seen int
+	keep []int
+	s    *Stream
+}
+
+// NewReservoir returns a reservoir keeping a uniform sample of size k.
+func NewReservoir(s *Stream, k int) *Reservoir {
+	if k <= 0 {
+		panic("rng: NewReservoir with k <= 0")
+	}
+	return &Reservoir{k: k, s: s, keep: make([]int, 0, k)}
+}
+
+// Offer presents one item to the reservoir.
+func (r *Reservoir) Offer(item int) {
+	r.seen++
+	if len(r.keep) < r.k {
+		r.keep = append(r.keep, item)
+		return
+	}
+	j := r.s.Intn(r.seen)
+	if j < r.k {
+		r.keep[j] = item
+	}
+}
+
+// Sample returns the current sample. The returned slice aliases internal
+// state and must not be modified; it holds min(k, items offered) elements.
+func (r *Reservoir) Sample() []int { return r.keep }
+
+// Seen reports how many items have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Reset clears the reservoir for reuse, keeping its capacity.
+func (r *Reservoir) Reset() {
+	r.seen = 0
+	r.keep = r.keep[:0]
+}
+
+// RandomMatching fills match with a uniform random perfect matching between
+// two equal-size sets {0..q-1}: match[i] = j pairs left element i with right
+// element j. This is the rendezvous node's final step in Algorithm 1
+// ("produce a random perfect matching of the chosen requests").
+//
+// A uniform random bijection is exactly a uniform random permutation.
+func (s *Stream) RandomMatching(q int) []int {
+	return s.Perm(q)
+}
+
+// WeightedChoice draws an index proportionally to the given non-negative
+// weights by linear scan. It is O(n) per draw; use Alias for repeated
+// sampling from the same weights.
+func (s *Stream) WeightedChoice(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: WeightedChoice with non-positive weight sum")
+	}
+	x := s.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

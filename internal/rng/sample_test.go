@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleKDistinct(t *testing.T) {
+	s := New(1)
+	err := quick.Check(func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		s.src.Seed(seed)
+		got := s.SampleK(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKUniformOverSubsets(t *testing.T) {
+	// Each element of [0,5) should appear in a 2-subset with probability
+	// k/n = 2/5.
+	s := New(2)
+	const draws = 100000
+	counts := make([]int, 5)
+	for i := 0; i < draws; i++ {
+		for _, v := range s.SampleK(5, 2) {
+			counts[v]++
+		}
+	}
+	want := 2.0 / 5 * draws
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.03*want {
+			t.Errorf("element %d appeared %d times, want %.0f +/- 3%%", i, c, want)
+		}
+	}
+}
+
+func TestSampleKEdges(t *testing.T) {
+	s := New(3)
+	if got := s.SampleK(5, 0); len(got) != 0 {
+		t.Fatalf("SampleK(5,0) returned %v", got)
+	}
+	got := s.SampleK(4, 4)
+	if len(got) != 4 {
+		t.Fatalf("SampleK(4,4) returned %d items", len(got))
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleK(3, 4)
+}
+
+func TestReservoirKeepsAllWhenUnderfull(t *testing.T) {
+	r := NewReservoir(New(4), 5)
+	r.Offer(10)
+	r.Offer(20)
+	got := r.Sample()
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("underfull reservoir = %v", got)
+	}
+	if r.Seen() != 2 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirUniform(t *testing.T) {
+	// Size-1 reservoir over 4 items: each item kept with probability 1/4.
+	s := New(5)
+	counts := make([]int, 4)
+	const draws = 100000
+	r := NewReservoir(s, 1)
+	for i := 0; i < draws; i++ {
+		r.Reset()
+		for item := 0; item < 4; item++ {
+			r.Offer(item)
+		}
+		counts[r.Sample()[0]]++
+	}
+	want := float64(draws) / 4
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.04*want {
+			t.Errorf("item %d kept %d times, want %.0f +/- 4%%", i, c, want)
+		}
+	}
+}
+
+func TestReservoirPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k <= 0")
+		}
+	}()
+	NewReservoir(New(1), 0)
+}
+
+func TestRandomMatchingIsBijection(t *testing.T) {
+	s := New(6)
+	for q := 0; q <= 20; q++ {
+		m := s.RandomMatching(q)
+		if len(m) != q {
+			t.Fatalf("matching size %d, want %d", len(m), q)
+		}
+		seen := make([]bool, q)
+		for _, v := range m {
+			if v < 0 || v >= q || seen[v] {
+				t.Fatalf("invalid matching %v", m)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomMatchingUniform(t *testing.T) {
+	// For q=3 there are 6 matchings; all should be roughly equally likely,
+	// which is the condition Lemma 3 of the paper relies on.
+	s := New(7)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		m := s.RandomMatching(3)
+		counts[[3]int{m[0], m[1], m[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d matchings, want 6", len(counts))
+	}
+	want := float64(draws) / 6
+	for m, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Errorf("matching %v count %d, want %.0f +/- 6%%", m, c, want)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(8)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight outcome drawn %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("weight ratio %.2f, want 3 +/- 0.15", ratio)
+	}
+}
+
+func TestWeightedChoicePanicsOnZeroSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero weight sum")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, 0})
+}

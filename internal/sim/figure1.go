@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Figure1Row is one n-value of Figure 1: the fraction of the centralized
+// optimum m = n that the dating service arranges per round, for the uniform
+// selection distribution and for DHT-interval selection (worst and best
+// overlay out of the generated population, as in the paper).
+type Figure1Row struct {
+	N           int
+	UniformMean float64
+	UniformStd  float64
+	DHTWorst    float64 // lowest per-overlay average fraction
+	DHTWorstStd float64 // stddev of the worst overlay's rounds
+	DHTBest     float64 // highest per-overlay average fraction
+}
+
+// Figure1Result is the full reproduction of Figure 1.
+type Figure1Result struct {
+	Rows []Figure1Row
+}
+
+// Table renders the result in the paper's reporting shape.
+func (r Figure1Result) Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 1 — fraction of dates arranged by the dating service (m = n)",
+		"n", "uniform", "dht-worst", "dht-best",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.N),
+			fmt.Sprintf("%.4f ± %.4f", row.UniformMean, row.UniformStd),
+			fmt.Sprintf("%.4f ± %.4f", row.DHTWorst, row.DHTWorstStd),
+			fmt.Sprintf("%.4f", row.DHTBest),
+		)
+	}
+	return t
+}
+
+// RunFigure1 reproduces Figure 1: n nodes generate n requests of each type
+// (unit bandwidths); the uniform rows average over many rounds, and the DHT
+// rows generate a population of overlays and report the worst and best
+// per-overlay averages, the paper's methodology ("we took only one DHT out
+// of 200 generated — the one that showed the worst average").
+func RunFigure1(scale Scale, seed uint64) (Figure1Result, error) {
+	ns, roundsFor, dhtCount := figure1Sizes(scale)
+	root := rng.New(seed)
+	var res Figure1Result
+	for _, n := range ns {
+		rounds := roundsFor(n)
+		profile := bandwidth.Homogeneous(n, 1)
+
+		// Uniform selection.
+		uniSel, err := core.NewUniformSelector(n)
+		if err != nil {
+			return Figure1Result{}, err
+		}
+		svc, err := core.NewService(profile, uniSel)
+		if err != nil {
+			return Figure1Result{}, err
+		}
+		s := root.Split()
+		var uni stats.Accumulator
+		for r := 0; r < rounds; r++ {
+			uni.Add(svc.RunRound(s).Fraction(n))
+		}
+
+		// DHT-interval selection over a population of overlays. Per-overlay
+		// round budgets shrink so total work stays proportional.
+		perDHT := rounds / dhtCount
+		if perDHT < 20 {
+			perDHT = 20
+		}
+		worst := stats.Accumulator{}
+		var worstMean = 2.0
+		var bestMean = -1.0
+		for d := 0; d < dhtCount; d++ {
+			ring, err := overlay.NewRing(n, root.Split())
+			if err != nil {
+				return Figure1Result{}, err
+			}
+			ringSel, err := core.NewRingSelector(ring)
+			if err != nil {
+				return Figure1Result{}, err
+			}
+			dsvc, err := core.NewService(profile, ringSel)
+			if err != nil {
+				return Figure1Result{}, err
+			}
+			ds := root.Split()
+			var acc stats.Accumulator
+			for r := 0; r < perDHT; r++ {
+				acc.Add(dsvc.RunRound(ds).Fraction(n))
+			}
+			if acc.Mean() < worstMean {
+				worstMean = acc.Mean()
+				worst = acc
+			}
+			if acc.Mean() > bestMean {
+				bestMean = acc.Mean()
+			}
+		}
+
+		res.Rows = append(res.Rows, Figure1Row{
+			N:           n,
+			UniformMean: uni.Mean(),
+			UniformStd:  uni.Std(),
+			DHTWorst:    worstMean,
+			DHTWorstStd: worst.Std(),
+			DHTBest:     bestMean,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Figure2Cell is one (n, algorithm) aggregate of Figure 2.
+type Figure2Cell struct {
+	Mean float64
+	Std  float64
+}
+
+// Figure2Row is one n-value of Figure 2: rounds to spread a single rumor
+// for each algorithm.
+type Figure2Row struct {
+	N     int
+	Cells map[gossip.Algorithm]Figure2Cell
+}
+
+// Figure2Result is the full reproduction of Figure 2.
+type Figure2Result struct {
+	Rows []Figure2Row
+}
+
+// Table renders the result with algorithms in the paper's display order.
+func (r Figure2Result) Table() *stats.Table {
+	headers := []string{"n"}
+	for _, a := range gossip.Algorithms() {
+		headers = append(headers, a.String())
+	}
+	t := stats.NewTable("Figure 2 — rounds to spread a single rumor (mean ± std)", headers...)
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprint(row.N)}
+		for _, a := range gossip.Algorithms() {
+			c := row.Cells[a]
+			cells = append(cells, fmt.Sprintf("%.2f ± %.2f", c.Mean, c.Std))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// RunFigure2 reproduces Figure 2: for each network size, run every
+// algorithm repeatedly from a fresh source and report mean and standard
+// deviation of the number of rounds until all nodes are informed.
+func RunFigure2(scale Scale, seed uint64) (Figure2Result, error) {
+	ns, repsFor := figure2Sizes(scale)
+	root := rng.New(seed)
+	var res Figure2Result
+	for _, n := range ns {
+		reps := repsFor(n)
+		row := Figure2Row{N: n, Cells: map[gossip.Algorithm]Figure2Cell{}}
+		for _, a := range gossip.Algorithms() {
+			s := root.Split()
+			var acc stats.Accumulator
+			for rep := 0; rep < reps; rep++ {
+				r, err := gossip.Run(gossip.Config{Algorithm: a, N: n, Source: 0}, s)
+				if err != nil {
+					return Figure2Result{}, err
+				}
+				if !r.Completed {
+					return Figure2Result{}, fmt.Errorf("sim: %v at n=%d did not complete", a, n)
+				}
+				acc.Add(float64(r.Rounds))
+			}
+			row.Cells[a] = Figure2Cell{Mean: acc.Mean(), Std: acc.Std()}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// LoadRow is one algorithm of experiment E12: the worst per-round per-node
+// loads observed while spreading one rumor. A unit-bandwidth node can
+// legally send one and receive one message per round; anything above that
+// is bandwidth the algorithm silently assumes, which is precisely the
+// advantage the paper says makes PUSH/PULL comparisons unfair.
+type LoadRow struct {
+	Algorithm  gossip.Algorithm
+	MaxInLoad  float64 // mean over reps of the worst per-round receive count
+	MaxOutLoad float64 // mean over reps of the worst per-round serve count
+	Rounds     float64
+}
+
+// LoadResult is the E12 outcome.
+type LoadResult struct {
+	N    int
+	Rows []LoadRow
+}
+
+// Table renders E12.
+func (r LoadResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E12 — worst per-round node loads while spreading (n = %d, unit bandwidth)", r.N),
+		"algorithm", "max in-load", "max out-load", "rounds")
+	for _, row := range r.Rows {
+		t.AddRow(row.Algorithm.String(), fmt.Sprintf("%.1f", row.MaxInLoad),
+			fmt.Sprintf("%.1f", row.MaxOutLoad), fmt.Sprintf("%.1f", row.Rounds))
+	}
+	return t
+}
+
+// RunLoadViolation measures the bandwidth honesty of every algorithm: the
+// dating service must stay at 1/1; the unfair baselines overdrive nodes by
+// Theta(log n / log log n) (balls-into-bins maxima).
+func RunLoadViolation(scale Scale, seed uint64) (LoadResult, error) {
+	n, reps := 2048, 10
+	if scale == ScalePaper {
+		n, reps = 16384, 100
+	}
+	root := rng.New(seed)
+	res := LoadResult{N: n}
+	for _, a := range gossip.Algorithms() {
+		var inL, outL, rounds stats.Accumulator
+		for rep := 0; rep < reps; rep++ {
+			s := root.Split()
+			r, err := gossip.Run(gossip.Config{Algorithm: a, N: n, Source: 0}, s)
+			if err != nil {
+				return LoadResult{}, err
+			}
+			if !r.Completed {
+				return LoadResult{}, fmt.Errorf("sim: %v incomplete in load experiment", a)
+			}
+			inL.Add(float64(r.MaxInLoad))
+			outL.Add(float64(r.MaxOutLoad))
+			rounds.Add(float64(r.Rounds))
+		}
+		res.Rows = append(res.Rows, LoadRow{
+			Algorithm:  a,
+			MaxInLoad:  inL.Mean(),
+			MaxOutLoad: outL.Mean(),
+			Rounds:     rounds.Mean(),
+		})
+	}
+	return res, nil
+}

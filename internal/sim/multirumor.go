@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// MultiRumorRow is one rumor-count of experiment E11.
+type MultiRumorRow struct {
+	Rumors       int
+	Rounds       float64 // rounds until every node knows every rumor
+	PerRumorMean float64 // mean per-rumor completion round
+}
+
+// MultiRumorSimResult is the E11 outcome: spreading R rumors injected over
+// time costs far less than R sequential broadcasts because rumors share the
+// arranged dates.
+type MultiRumorSimResult struct {
+	N            int
+	SingleRounds float64 // baseline: one rumor alone
+	Rows         []MultiRumorRow
+}
+
+// Table renders E11.
+func (r MultiRumorSimResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E11 — concurrent rumors over one dating service (n = %d; single rumor alone: %.1f rounds)",
+			r.N, r.SingleRounds),
+		"rumors", "all-done rounds", "per-rumor mean", "vs sequential")
+	for _, row := range r.Rows {
+		seq := r.SingleRounds * float64(row.Rumors)
+		t.AddRow(fmt.Sprint(row.Rumors), fmt.Sprintf("%.1f", row.Rounds),
+			fmt.Sprintf("%.1f", row.PerRumorMean), fmt.Sprintf("%.1fx faster", seq/row.Rounds))
+	}
+	return t
+}
+
+// RunMultiRumorExperiment injects R rumors two rounds apart on distinct
+// sources and measures completion, for R in {1, 2, 4, 8}.
+func RunMultiRumorExperiment(scale Scale, seed uint64) (MultiRumorSimResult, error) {
+	n, reps := 512, 8
+	if scale == ScalePaper {
+		n, reps = 4096, 50
+	}
+	root := rng.New(seed)
+	var res MultiRumorSimResult
+	res.N = n
+	for _, rumors := range []int{1, 2, 4, 8} {
+		var rounds, per stats.Accumulator
+		for rep := 0; rep < reps; rep++ {
+			injections := make([]gossip.Injection, rumors)
+			for r := range injections {
+				injections[r] = gossip.Injection{Round: 1 + 2*r, Source: (r * 37) % n}
+			}
+			s := root.Split()
+			mr, err := gossip.RunMultiRumor(gossip.MultiRumorConfig{
+				N:          n,
+				Injections: injections,
+				Forwarding: gossip.ForwardRandom,
+			}, s)
+			if err != nil {
+				return MultiRumorSimResult{}, err
+			}
+			if !mr.Completed {
+				return MultiRumorSimResult{}, fmt.Errorf("sim: multi-rumor run incomplete (R=%d)", rumors)
+			}
+			rounds.Add(float64(mr.Rounds))
+			var sum float64
+			for _, d := range mr.PerRumorDone {
+				sum += float64(d)
+			}
+			per.Add(sum / float64(rumors))
+		}
+		if rumors == 1 {
+			res.SingleRounds = rounds.Mean()
+		}
+		res.Rows = append(res.Rows, MultiRumorRow{
+			Rumors:       rumors,
+			Rounds:       rounds.Mean(),
+			PerRumorMean: per.Mean(),
+		})
+	}
+	return res, nil
+}

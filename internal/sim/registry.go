@@ -1,0 +1,42 @@
+package sim
+
+import "repro/internal/stats"
+
+// Experiment couples a runnable experiment with its name, so drivers (the
+// hetsim CLI, tests) share one registry.
+type Experiment struct {
+	Name string
+	// About is a one-line description shown in help output.
+	About string
+	Run   func(Scale, uint64) (*stats.Table, error)
+}
+
+func tabler[T interface{ Table() *stats.Table }](f func(Scale, uint64) (T, error)) func(Scale, uint64) (*stats.Table, error) {
+	return func(sc Scale, seed uint64) (*stats.Table, error) {
+		res, err := f(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	}
+}
+
+// Registry lists every experiment in DESIGN.md's per-experiment index, in
+// presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"figure1", "fraction of dates arranged (uniform vs DHT)", tabler(RunFigure1)},
+		{"figure2", "rounds to spread a rumor, all algorithms", tabler(RunFigure2)},
+		{"alpha", "E3: arranged fraction vs per-node load", tabler(RunAlphaVsLoad)},
+		{"ablation", "E4: arranged fraction by selection distribution", tabler(RunDistributionAblation)},
+		{"phases", "E5: Theorem 4 phase structure", tabler(RunPhases)},
+		{"hierarchical", "E6: Theorem 10 rich-first delivery", tabler(RunHierarchical)},
+		{"pipelining", "E7: pipelined dating over a DHT", tabler(RunPipelining)},
+		{"mongering", "E8: network-coded multi-block broadcast", tabler(RunMongering)},
+		{"churn", "E9: spreading under crashes", tabler(RunChurn)},
+		{"storage", "E10: replicated storage block exchanges", tabler(RunStorage)},
+		{"multirumor", "E11: concurrent rumors share the dates", tabler(RunMultiRumorExperiment)},
+		{"loads", "E12: worst per-node loads (bandwidth honesty)", tabler(RunLoadViolation)},
+		{"dynamicdht", "E13: spreading over a churning DHT", tabler(RunDynamicDHT)},
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width binned counter over [Lo, Hi). Values below Lo
+// land in an underflow bin, values at or above Hi in an overflow bin.
+type Histogram struct {
+	Lo, Hi    float64
+	bins      []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// over [lo, hi). bins must be positive and lo < hi.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.bins) { // guard the hi-adjacent float edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.bins[i] }
+
+// Bins returns the number of regular bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Underflow returns the count of observations below Lo.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the count of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Render draws a simple ASCII bar chart, one line per bin, scaled so the
+// fullest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	peak := 1
+	for _, c := range h.bins {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(peak)*float64(width))))
+		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", "<lo", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", ">=hi", h.overflow)
+	}
+	return b.String()
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for the mean
+// of xs at the given confidence level (e.g. 0.95), using resamples
+// iterations driven by the provided uniform-int source. The source rand must
+// return a uniform value in [0, n) when called with n.
+func Bootstrap(xs []float64, confidence float64, resamples int, randIntn func(int) int) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: bootstrap confidence must be in (0,1), got %v", confidence)
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs >= 10 resamples, got %d", resamples)
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for range xs {
+			sum += xs[randIntn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha), nil
+}

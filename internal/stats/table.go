@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned results table, the output format of every
+// figure-reproduction harness in this repository. It renders either as
+// aligned plain text (for terminals and bench logs) or as CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of already-formatted cells. Rows shorter than the
+// header are padded with empty cells; longer rows are an error at render
+// time, so they are truncated here to keep rendering total.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf formats each value with %v and appends the row.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []string {
+	return append([]string(nil), t.rows[i]...)
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV form (quoting cells containing
+// commas, quotes, or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MeanStd formats an accumulator as "mean ± std" with the given number of
+// decimal places, the display convention of the paper's figures.
+func MeanStd(a *Accumulator, decimals int) string {
+	return fmt.Sprintf("%.*f ± %.*f", decimals, a.Mean(), decimals, a.Std())
+}

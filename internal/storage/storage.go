@@ -1,0 +1,190 @@
+// Package storage implements the second Section 5 extension of the paper:
+// a distributed replicated storage system organized by the dating service.
+//
+// Every node owns local objects that must each be replicated on R distinct
+// remote nodes, and offers a fixed number of hosting slots for other nodes'
+// replicas. Each round, a node's outstanding replication needs become its
+// supply of blocks to send, and its free slots become its demand; the
+// dating service pairs them with no central coordination, and each arranged
+// date ships one replica. Because the service never exceeds declared
+// capacities, a node is never asked to absorb more blocks per round than it
+// advertised.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a replication run.
+type Config struct {
+	N              int // nodes
+	ObjectsPerNode int // local objects each node must replicate
+	Replicas       int // required replicas per object, on distinct remote nodes
+	SlotsPerNode   int // hosting capacity per node (in blocks)
+	// RoundCap bounds how many blocks a node may send or receive per round
+	// (its network bandwidth); 0 means 1, the paper's unit-message model.
+	RoundCap int
+	// Selector defaults to uniform; any common distribution works.
+	Selector  core.Selector
+	MaxRounds int
+}
+
+// Result reports a replication run.
+type Result struct {
+	Rounds        int
+	Completed     bool
+	PlacedHistory []int // cumulative placed replicas per round
+	Transfers     int   // dates used to ship a block
+	WastedDates   int   // dates where the pair had nothing placeable
+	MaxOccupancy  int   // fullest node at the end
+	MinOccupancy  int   // emptiest node at the end
+}
+
+// validate checks feasibility: enough distinct hosts and enough total slots.
+func (c *Config) validate() error {
+	if c.N <= 1 {
+		return fmt.Errorf("storage: need n > 1, got %d", c.N)
+	}
+	if c.ObjectsPerNode < 1 || c.Replicas < 1 || c.SlotsPerNode < 1 {
+		return fmt.Errorf("storage: objects, replicas and slots must be positive")
+	}
+	if c.Replicas > c.N-1 {
+		return fmt.Errorf("storage: %d replicas need %d distinct remote hosts, only %d exist", c.Replicas, c.Replicas, c.N-1)
+	}
+	need := c.N * c.ObjectsPerNode * c.Replicas
+	have := c.N * c.SlotsPerNode
+	if need > have {
+		return fmt.Errorf("storage: %d replica slots needed but only %d offered", need, have)
+	}
+	if c.RoundCap < 0 {
+		return fmt.Errorf("storage: negative round cap")
+	}
+	return nil
+}
+
+// Run executes the replication protocol until every object has R replicas
+// or MaxRounds elapses.
+func Run(cfg Config, s *rng.Stream) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	sel := cfg.Selector
+	if sel == nil {
+		u, err := core.NewUniformSelector(cfg.N)
+		if err != nil {
+			return Result{}, err
+		}
+		sel = u
+	}
+	if sel.N() != cfg.N {
+		return Result{}, fmt.Errorf("storage: selector addresses %d nodes, config has %d", sel.N(), cfg.N)
+	}
+	cap := cfg.RoundCap
+	if cap == 0 {
+		cap = 1
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 40 * (cfg.ObjectsPerNode*cfg.Replicas + 16)
+	}
+
+	n := cfg.N
+	objs := cfg.ObjectsPerNode
+	// Object o of node i has id i*objs+o. hosts[id] lists its replica
+	// holders; onHost marks (id, host) pairs for O(1) duplicate checks.
+	total := n * objs
+	hosts := make([][]int, total)
+	onHost := make(map[int64]bool, total*cfg.Replicas)
+	occupancy := make([]int, n)
+	outstanding := make([]int, n) // replicas still needed, per owner
+	for i := range outstanding {
+		outstanding[i] = objs * cfg.Replicas
+	}
+
+	needTotal := total * cfg.Replicas
+	placed := 0
+
+	var res Result
+	out := make([]int, n)
+	in := make([]int, n)
+	for round := 1; round <= maxRounds; round++ {
+		for i := 0; i < n; i++ {
+			out[i] = min(outstanding[i], cap)
+			in[i] = min(cfg.SlotsPerNode-occupancy[i], cap)
+		}
+		dates, err := core.ArrangeDates(out, in, sel, s)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, d := range dates {
+			owner, host := d.Sender, d.Receiver
+			if owner == host || occupancy[host] >= cfg.SlotsPerNode || outstanding[owner] == 0 {
+				res.WastedDates++
+				continue
+			}
+			// Place the first outstanding object of owner not yet on host.
+			placedOne := false
+			for o := 0; o < objs; o++ {
+				id := owner*objs + o
+				if len(hosts[id]) >= cfg.Replicas {
+					continue
+				}
+				key := int64(id)*int64(n) + int64(host)
+				if onHost[key] {
+					continue
+				}
+				onHost[key] = true
+				hosts[id] = append(hosts[id], host)
+				occupancy[host]++
+				outstanding[owner]--
+				placed++
+				res.Transfers++
+				placedOne = true
+				break
+			}
+			if !placedOne {
+				res.WastedDates++
+			}
+		}
+		res.Rounds = round
+		res.PlacedHistory = append(res.PlacedHistory, placed)
+		if placed == needTotal {
+			res.Completed = true
+			break
+		}
+	}
+
+	res.MaxOccupancy, res.MinOccupancy = occupancy[0], occupancy[0]
+	for _, c := range occupancy {
+		if c > res.MaxOccupancy {
+			res.MaxOccupancy = c
+		}
+		if c < res.MinOccupancy {
+			res.MinOccupancy = c
+		}
+	}
+	// Internal consistency: every hosts list within bounds and distinct.
+	for id, hs := range hosts {
+		if len(hs) > cfg.Replicas {
+			return Result{}, fmt.Errorf("storage: object %d over-replicated (%d)", id, len(hs))
+		}
+		seen := map[int]bool{}
+		for _, h := range hs {
+			if seen[h] || h == id/objs {
+				return Result{}, fmt.Errorf("storage: object %d has invalid host set %v", id, hs)
+			}
+			seen[h] = true
+		}
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

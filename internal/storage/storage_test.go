@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	s := rng.New(1)
+	bad := []Config{
+		{N: 1, ObjectsPerNode: 1, Replicas: 1, SlotsPerNode: 1},               // n too small
+		{N: 4, ObjectsPerNode: 0, Replicas: 1, SlotsPerNode: 1},               // no objects
+		{N: 4, ObjectsPerNode: 1, Replicas: 0, SlotsPerNode: 1},               // no replicas
+		{N: 4, ObjectsPerNode: 1, Replicas: 1, SlotsPerNode: 0},               // no slots
+		{N: 4, ObjectsPerNode: 1, Replicas: 4, SlotsPerNode: 8},               // replicas > n-1
+		{N: 4, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 1},               // capacity infeasible
+		{N: 4, ObjectsPerNode: 1, Replicas: 1, SlotsPerNode: 2, RoundCap: -1}, // bad cap
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, s); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSelectorSizeMismatch(t *testing.T) {
+	sel, _ := core.NewUniformSelector(5)
+	_, err := Run(Config{N: 6, ObjectsPerNode: 1, Replicas: 1, SlotsPerNode: 2, Selector: sel}, rng.New(2))
+	if err == nil {
+		t.Fatal("accepted selector/config size mismatch")
+	}
+}
+
+func TestReplicationCompletes(t *testing.T) {
+	s := rng.New(3)
+	cfg := Config{N: 50, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 8}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("replication incomplete after %d rounds", res.Rounds)
+	}
+	want := 50 * 2 * 3
+	if res.Transfers != want {
+		t.Fatalf("transfers %d, want %d", res.Transfers, want)
+	}
+	last := res.PlacedHistory[len(res.PlacedHistory)-1]
+	if last != want {
+		t.Fatalf("placed %d, want %d", last, want)
+	}
+}
+
+func TestPlacedHistoryMonotone(t *testing.T) {
+	s := rng.New(4)
+	res, err := Run(Config{N: 30, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i, c := range res.PlacedHistory {
+		if c < prev {
+			t.Fatalf("placements dropped at round %d", i+1)
+		}
+		prev = c
+	}
+}
+
+func TestOccupancyWithinSlots(t *testing.T) {
+	s := rng.New(5)
+	cfg := Config{N: 40, ObjectsPerNode: 2, Replicas: 2, SlotsPerNode: 5}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxOccupancy > cfg.SlotsPerNode {
+		t.Fatalf("a node hosts %d > %d slots", res.MaxOccupancy, cfg.SlotsPerNode)
+	}
+	if res.MinOccupancy < 0 {
+		t.Fatalf("negative occupancy %d", res.MinOccupancy)
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	// With ample slack, the randomized placement should spread replicas:
+	// no node may end up with more than ~4x the average occupancy.
+	s := rng.New(6)
+	cfg := Config{N: 100, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 12}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	avg := float64(cfg.ObjectsPerNode * cfg.Replicas) // 6 per node on average
+	if float64(res.MaxOccupancy) > 4*avg {
+		t.Fatalf("max occupancy %d vs average %.0f: badly unbalanced", res.MaxOccupancy, avg)
+	}
+}
+
+func TestTightCapacityStillCompletes(t *testing.T) {
+	// Exactly enough slots network-wide: completion requires near-perfect
+	// packing, which takes longer but must still terminate.
+	s := rng.New(7)
+	cfg := Config{N: 12, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 2, MaxRounds: 20000}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("tight config incomplete after %d rounds (placed %v)", res.Rounds, res.PlacedHistory[len(res.PlacedHistory)-1])
+	}
+	if res.MaxOccupancy != 2 || res.MinOccupancy != 2 {
+		t.Fatalf("tight config must fill every slot: %d..%d", res.MinOccupancy, res.MaxOccupancy)
+	}
+}
+
+func TestRoundCapLimitsPerRoundProgress(t *testing.T) {
+	s := rng.New(8)
+	cfg := Config{N: 20, ObjectsPerNode: 4, Replicas: 2, SlotsPerNode: 10, RoundCap: 1}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, c := range res.PlacedHistory {
+		// With cap 1, at most one block lands per node per round.
+		if c-prev > 20 {
+			t.Fatalf("placed %d blocks in one round with cap 1 on 20 nodes", c-prev)
+		}
+		prev = c
+	}
+}
+
+func TestHigherCapFaster(t *testing.T) {
+	s1, s2 := rng.New(9), rng.New(10)
+	slow, err := Run(Config{N: 40, ObjectsPerNode: 4, Replicas: 3, SlotsPerNode: 16, RoundCap: 1}, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(Config{N: 40, ObjectsPerNode: 4, Replicas: 3, SlotsPerNode: 16, RoundCap: 4}, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Completed || !fast.Completed {
+		t.Fatal("runs incomplete")
+	}
+	if fast.Rounds >= slow.Rounds {
+		t.Fatalf("cap 4 (%d rounds) not faster than cap 1 (%d rounds)", fast.Rounds, slow.Rounds)
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	s := rng.New(11)
+	res, err := Run(Config{N: 60, ObjectsPerNode: 8, Replicas: 3, SlotsPerNode: 30, MaxRounds: 2}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Rounds > 2 {
+		t.Fatalf("round cap violated: %+v", res.Rounds)
+	}
+}
+
+func TestWeightedSelectorWorks(t *testing.T) {
+	// Replication must also work over a skewed (DHT-like) distribution.
+	weights := make([]float64, 30)
+	for i := range weights {
+		weights[i] = 1 + float64(i%5)
+	}
+	sel, err := core.NewWeightedSelector(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{N: 30, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4, Selector: sel}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("skewed-selector replication incomplete after %d rounds", res.Rounds)
+	}
+}

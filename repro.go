@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"repro/internal/bandwidth"
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+)
+
+// Re-exported core types. The facade uses type aliases so that values flow
+// freely between the public API and the implementation packages.
+type (
+	// Stream is a deterministic random stream; all APIs take one
+	// explicitly so that every simulation is reproducible from its seed.
+	Stream = rng.Stream
+
+	// Profile holds per-node incoming/outgoing bandwidths (bin, bout).
+	Profile = bandwidth.Profile
+
+	// Selector is the common selection distribution for dating requests.
+	Selector = core.Selector
+
+	// Date is one arranged unit communication (Sender -> Receiver).
+	Date = core.Date
+
+	// RoundResult reports one dating-service round.
+	RoundResult = core.RoundResult
+
+	// DatingService runs rounds of Algorithm 1.
+	DatingService = core.Service
+
+	// Ring is the DHT substrate of Section 4.
+	Ring = overlay.Ring
+
+	// RumorConfig parameterizes a rumor-spreading run.
+	RumorConfig = gossip.Config
+
+	// RumorResult reports a rumor-spreading run.
+	RumorResult = gossip.Result
+
+	// Algorithm selects a spreading protocol (Dating or a baseline).
+	Algorithm = gossip.Algorithm
+
+	// MongerConfig parameterizes network-coded multi-block broadcast.
+	MongerConfig = coding.MongerConfig
+
+	// MongerResult reports a mongering run.
+	MongerResult = coding.MongerResult
+
+	// StorageConfig parameterizes dating-organized replication.
+	StorageConfig = storage.Config
+
+	// StorageResult reports a replication run.
+	StorageResult = storage.Result
+
+	// LiveConfig parameterizes fully message-level spreading on the
+	// goroutine-per-peer engine.
+	LiveConfig = gossip.LiveConfig
+
+	// LiveResult reports a message-level spreading run.
+	LiveResult = gossip.LiveResult
+
+	// MultiRumorConfig parameterizes spreading of several rumors injected
+	// over time.
+	MultiRumorConfig = gossip.MultiRumorConfig
+
+	// MultiRumorResult reports a multi-rumor run.
+	MultiRumorResult = gossip.MultiRumorResult
+
+	// Injection introduces one rumor at a given round and source.
+	Injection = gossip.Injection
+
+	// Network is the deterministic round-synchronous message engine.
+	Network = simnet.Network
+
+	// Handshake runs the dating service as an explicit three-step message
+	// protocol on a Network, exposing the real control-message overhead.
+	Handshake = core.Handshake
+)
+
+// Spreading algorithms, in the display order of the paper's Figure 2.
+const (
+	PushPull     = gossip.PushPull
+	FairPushPull = gossip.FairPushPull
+	Pull         = gossip.Pull
+	FairPull     = gossip.FairPull
+	Push         = gossip.Push
+	Dating       = gossip.Dating
+)
+
+// NewStream returns a deterministic random stream seeded with seed.
+func NewStream(seed uint64) *Stream { return rng.New(seed) }
+
+// NewStreams derives n independent per-node streams from one seed.
+func NewStreams(seed uint64, n int) []*Stream { return rng.NewStreams(seed, n) }
+
+// UnitBandwidth returns the homogeneous profile of the paper's figures:
+// every node sends and receives one unit message per round.
+func UnitBandwidth(n int) Profile { return bandwidth.Homogeneous(n, 1) }
+
+// Homogeneous returns a profile with bin = bout = b for every node.
+func Homogeneous(n, b int) Profile { return bandwidth.Homogeneous(n, b) }
+
+// Bimodal returns a two-class rich/poor profile (Theorem 10 workloads).
+func Bimodal(n, rich, richB, poorB int) (Profile, error) {
+	return bandwidth.Bimodal(n, rich, richB, poorB)
+}
+
+// ZipfBandwidth draws per-node bandwidths from a Zipf law, skewing in/out
+// within the paper's C-ratio bound.
+func ZipfBandwidth(n int, exponent float64, maxB int, c float64, s *Stream) (Profile, error) {
+	return bandwidth.Zipf(n, exponent, maxB, c, s)
+}
+
+// Uniform returns the uniform selection distribution over n nodes.
+func Uniform(n int) (Selector, error) { return core.NewUniformSelector(n) }
+
+// Weighted returns a selection distribution proportional to weights.
+func Weighted(weights []float64) (Selector, error) { return core.NewWeightedSelector(weights) }
+
+// RingSelection wraps a DHT ring as a selection distribution: each node is
+// chosen with probability equal to its arc length (Section 4).
+func RingSelection(r *Ring) (Selector, error) { return core.NewRingSelector(r) }
+
+// NewRing places n DHT nodes uniformly at random on the ring.
+func NewRing(n int, s *Stream) (*Ring, error) { return overlay.NewRing(n, s) }
+
+// NewDatingService builds a dating service for a bandwidth profile and a
+// selection distribution.
+func NewDatingService(p Profile, sel Selector) (*DatingService, error) {
+	return core.NewService(p, sel)
+}
+
+// ArrangeDates runs a single dating round directly from per-node supply and
+// demand vectors (the abstract resource-matching interface of the paper's
+// introduction; zeros are allowed).
+func ArrangeDates(out, in []int, sel Selector, s *Stream) ([]Date, error) {
+	return core.ArrangeDates(out, in, sel, s)
+}
+
+// SpreadRumor runs one rumor-spreading simulation.
+func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {
+	return gossip.Run(cfg, s)
+}
+
+// SpreadRumorLive runs rumor spreading as a real message protocol with one
+// goroutine per peer (the dating handshake over channels).
+func SpreadRumorLive(cfg LiveConfig) (LiveResult, error) {
+	return gossip.RunLive(cfg)
+}
+
+// SpreadMultiRumor spreads several rumors injected over time, each date
+// carrying one unit-size rumor.
+func SpreadMultiRumor(cfg MultiRumorConfig, s *Stream) (MultiRumorResult, error) {
+	return gossip.RunMultiRumor(cfg, s)
+}
+
+// Monger broadcasts a multi-block message with network coding over the
+// dating service (Section 5).
+func Monger(cfg MongerConfig, s *Stream) (MongerResult, error) {
+	return coding.RunMonger(cfg, s)
+}
+
+// Replicate runs the replicated-storage protocol (Section 5).
+func Replicate(cfg StorageConfig, s *Stream) (StorageResult, error) {
+	return storage.Run(cfg, s)
+}
+
+// NewNetwork creates a round-synchronous message engine with n live nodes.
+func NewNetwork(n int) (*Network, error) { return simnet.NewNetwork(n) }
+
+// NewHandshake builds the message-level dating service: each round costs
+// three network rounds (scatter, answer, payload) and every control message
+// carries about one address, the paper's overhead model.
+func NewHandshake(p Profile, sel Selector, seed uint64) (*Handshake, error) {
+	return core.NewHandshake(p, sel, seed)
+}

@@ -1,0 +1,121 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	const n = 500
+	profile := repro.UnitBandwidth(n)
+	sel, err := repro.Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := repro.NewDatingService(profile, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := repro.NewStream(42)
+	res := svc.RunRound(s)
+	frac := res.Fraction(n)
+	if frac < 0.40 || frac > 0.55 {
+		t.Fatalf("fraction %.3f outside sane band", frac)
+	}
+}
+
+func TestSpreadRumorFacade(t *testing.T) {
+	s := repro.NewStream(1)
+	out, err := repro.SpreadRumor(repro.RumorConfig{N: 256, Algorithm: repro.Dating}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("incomplete after %d rounds", out.Rounds)
+	}
+}
+
+func TestDHTFlow(t *testing.T) {
+	s := repro.NewStream(2)
+	ring, err := repro.NewRing(128, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := repro.RingSelection(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := repro.NewDatingService(repro.UnitBandwidth(128), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := svc.RunRound(s)
+	if len(res.Dates) == 0 {
+		t.Fatal("no dates over DHT selection")
+	}
+}
+
+func TestBimodalAndZipfFacade(t *testing.T) {
+	if _, err := repro.Bimodal(10, 2, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := repro.NewStream(3)
+	if _, err := repro.ZipfBandwidth(50, 1.0, 16, 2, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.Weighted([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrangeDatesFacade(t *testing.T) {
+	sel, _ := repro.Uniform(4)
+	s := repro.NewStream(4)
+	dates, err := repro.ArrangeDates([]int{1, 0, 2, 0}, []int{0, 1, 0, 2}, sel, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dates {
+		if d.Sender == 1 || d.Sender == 3 || d.Receiver == 0 || d.Receiver == 2 {
+			t.Fatalf("date %v violates the supply/demand vectors", d)
+		}
+	}
+}
+
+func TestMongerFacade(t *testing.T) {
+	s := repro.NewStream(5)
+	res, err := repro.Monger(repro.MongerConfig{N: 20, Blocks: 4, BlockSize: 8}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("mongering incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestReplicateFacade(t *testing.T) {
+	s := repro.NewStream(6)
+	res, err := repro.Replicate(repro.StorageConfig{
+		N: 20, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("replication incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestNewStreamsFacade(t *testing.T) {
+	streams := repro.NewStreams(7, 3)
+	if len(streams) != 3 {
+		t.Fatalf("got %d streams", len(streams))
+	}
+	if streams[0].Uint64() == streams[1].Uint64() {
+		t.Fatal("streams not independent")
+	}
+}
