@@ -1,18 +1,28 @@
-// Command datebench regenerates Figure 1 of the paper: the fraction of the
-// centralized optimum that the dating service arranges per round, under
-// uniform selection and under DHT-interval selection (worst and best overlay
-// of a generated population).
+// Command datebench regenerates Figure 1 of the paper — the fraction of the
+// centralized optimum the dating service arranges per round — and profiles
+// the round engine itself, serial versus parallel.
 //
 // Usage:
 //
-//	datebench [-scale quick|paper] [-seed N] [-csv]
+//	datebench [-mode figure1|engine] [-scale quick|paper] [-seed N]
+//	          [-workers N] [-n N] [-rounds N] [-csv] [-json]
 //
-// The paper scale runs n up to 100000 with 10^3–10^4 rounds per point and
-// 200 DHT overlays; expect minutes of runtime. The quick scale preserves
-// every qualitative conclusion in seconds.
+// figure1 mode (the default) reproduces the paper's Figure 1. The paper
+// scale runs n up to 100000 with 10^3–10^4 rounds per point and 200 DHT
+// overlays; expect minutes of runtime. The quick scale preserves every
+// qualitative conclusion in seconds.
+//
+// engine mode times one dating round at a fixed large n (default one
+// million nodes) on the serial path and on the parallel engine at 2, 4,
+// ..., -workers workers, reporting seconds per round, request throughput
+// and speedup. -json emits the result as machine-readable JSON so perf
+// trajectory points (BENCH_*.json) can be recorded across versions:
+//
+//	datebench -mode engine -n 1000000 -rounds 5 -workers 8 -json > BENCH_engine.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,27 +31,79 @@ import (
 )
 
 func main() {
-	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper")
+	mode := flag.String("mode", "figure1", "what to run: figure1 or engine")
+	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper (figure1 mode)")
 	seed := flag.Uint64("seed", 42, "root random seed")
+	workers := flag.Int("workers", 4, "max parallel workers (engine mode)")
+	n := flag.Int("n", 1_000_000, "node count (engine mode)")
+	rounds := flag.Int("rounds", 5, "timed rounds per worker count (engine mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
 	flag.Parse()
 
-	scale, err := sim.ParseScale(*scaleName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	switch *mode {
+	case "figure1":
+		scale, err := sim.ParseScale(*scaleName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := sim.RunFigure1(scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *jsonOut:
+			emitJSON("figure1", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+			fmt.Println("\nPaper reference: uniform slightly above 0.47*n at all sizes;")
+			fmt.Println("worst-of-200 DHTs above 0.52*n; best DHTs from 0.67*n (n=10)")
+			fmt.Println("down to about 0.55*n at n=10^4.")
+		}
+
+	case "engine":
+		var counts []int
+		for w := 2; w <= *workers; w *= 2 {
+			counts = append(counts, w)
+		}
+		if len(counts) == 0 || counts[len(counts)-1] != *workers {
+			counts = append(counts, *workers)
+		}
+		res, err := sim.RunEngineBench(*n, *rounds, counts, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *jsonOut:
+			emitJSON("engine", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1 or engine)\n", *mode)
 		os.Exit(2)
 	}
-	res, err := sim.RunFigure1(scale, *seed)
-	if err != nil {
+}
+
+// emitJSON wraps a result in a stable envelope so collected BENCH_*.json
+// files identify themselves.
+func emitJSON(experiment string, seed uint64, result any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"experiment": experiment,
+		"seed":       seed,
+		"result":     result,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datebench:", err)
 		os.Exit(1)
 	}
-	if *csv {
-		fmt.Print(res.Table().CSV())
-		return
-	}
-	fmt.Print(res.Table().Render())
-	fmt.Println("\nPaper reference: uniform slightly above 0.47*n at all sizes;")
-	fmt.Println("worst-of-200 DHTs above 0.52*n; best DHTs from 0.67*n (n=10)")
-	fmt.Println("down to about 0.55*n at n=10^4.")
 }

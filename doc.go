@@ -40,6 +40,23 @@
 //	out, _ := repro.SpreadRumor(repro.RumorConfig{N: 1000, Algorithm: repro.Dating}, s)
 //	fmt.Println(out.Rounds, "rounds")             // O(log n)
 //
+// # Parallel rounds
+//
+// At large n a round is embarrassingly parallel: the scatter step is
+// independent per sender and the match step independent per rendezvous.
+// DatingService.RunRoundParallel shards both steps across worker
+// goroutines, each drawing from its own SplitMix64-derived stream, and is
+// exactly reproducible for a fixed (seed, workers) pair — same dates, same
+// order, under any goroutine schedule:
+//
+//	streams := repro.NewStreams(42, 8)            // one stream per worker
+//	res, err := svc.RunRoundParallel(streams, 8)  // deterministic given (42, 8)
+//
+// RunParallelRound wraps the stream derivation for one-shot rounds, and
+// RumorConfig.Workers runs the dating-based spreader on the parallel
+// engine. cmd/datebench's engine mode benchmarks serial versus parallel
+// rounds at million-node scale.
+//
 // See the runnable programs under examples/ and the reproduction CLIs under
 // cmd/.
 package repro

@@ -38,6 +38,24 @@ func ExampleSpreadRumor() {
 	// true
 }
 
+// The parallel engine shards a round across worker goroutines and stays
+// exactly reproducible for a fixed (seed, workers) pair.
+func ExampleRunParallelRound() {
+	profile := repro.UnitBandwidth(10000)
+	sel, _ := repro.Uniform(10000)
+	svc, _ := repro.NewDatingService(profile, sel)
+
+	a, _ := repro.RunParallelRound(svc, 42, 4)
+	b, _ := repro.RunParallelRound(svc, 42, 4)
+
+	frac := a.Fraction(svc.M())
+	fmt.Println(len(a.Dates) == len(b.Dates) && a.Dates[0] == b.Dates[0])
+	fmt.Println(frac > 0.40 && frac < 0.55)
+	// Output:
+	// true
+	// true
+}
+
 // The DHT induces a non-uniform selection distribution (arc lengths), and
 // the dating service arranges even MORE dates with it than with uniform
 // selection — the paper's Figure 1 result.

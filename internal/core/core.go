@@ -124,16 +124,15 @@ func (r RoundResult) Fraction(m int) float64 {
 
 // Service runs dating-service rounds for a fixed bandwidth profile and
 // selection distribution. A Service reuses internal scratch buffers between
-// rounds and is therefore not safe for concurrent use; create one Service
-// per goroutine.
+// rounds and therefore runs one round at a time: do not call its methods
+// concurrently. RunRoundParallel parallelizes *inside* a round with worker
+// goroutines the Service manages itself.
 type Service struct {
 	profile bandwidth.Profile
 	sel     Selector
 
-	// scratch, reused across rounds
-	offersAt   [][]int32
-	requestsAt [][]int32
-	touched    []int32 // rendezvous nodes that received anything this round
+	// round scratch, reused across rounds (see engine.go)
+	eng engineScratch
 }
 
 // NewService validates the configuration and returns a Service. The profile
@@ -148,13 +147,9 @@ func NewService(p bandwidth.Profile, sel Selector) (*Service, error) {
 	if p.N() != sel.N() {
 		return nil, fmt.Errorf("core: profile has %d nodes but selector addresses %d", p.N(), sel.N())
 	}
-	n := p.N()
-	return &Service{
-		profile:    p,
-		sel:        sel,
-		offersAt:   make([][]int32, n),
-		requestsAt: make([][]int32, n),
-	}, nil
+	sv := &Service{profile: p, sel: sel}
+	sv.eng.weight = func(i int) int { return p.Out[i] + p.In[i] }
+	return sv, nil
 }
 
 // Profile returns the service's bandwidth profile.
@@ -177,57 +172,14 @@ func (sv *Service) RunRound(s *rng.Stream) RoundResult {
 // nodes neither emit requests nor act as rendezvous points, and requests
 // addressed to them are lost — matching the behavior of a real overlay
 // where a dead rendezvous simply never answers.
+//
+// The round runs on the flat engine of engine.go with a single worker: the
+// scatter pass records (rendezvous, sender) pairs and counting-sorts them
+// into one contiguous buffer per request kind, and the match pass walks the
+// buckets in rendezvous order.
 func (sv *Service) RunRoundFiltered(s *rng.Stream, alive func(i int) bool) RoundResult {
-	n := sv.profile.N()
-	sv.touched = sv.touched[:0]
-
-	res := RoundResult{
-		PerNodeOut: make([]int, n),
-		PerNodeIn:  make([]int, n),
-	}
-
-	// Step 1: every live node scatters its offers and demands.
-	for i := 0; i < n; i++ {
-		if alive != nil && !alive(i) {
-			continue
-		}
-		for k := 0; k < sv.profile.Out[i]; k++ {
-			dest := sv.sel.Pick(s)
-			if alive != nil && !alive(dest) {
-				continue // lost: rendezvous is down
-			}
-			if len(sv.offersAt[dest]) == 0 && len(sv.requestsAt[dest]) == 0 {
-				sv.touched = append(sv.touched, int32(dest))
-			}
-			sv.offersAt[dest] = append(sv.offersAt[dest], int32(i))
-			res.OffersSent++
-		}
-		for k := 0; k < sv.profile.In[i]; k++ {
-			dest := sv.sel.Pick(s)
-			if alive != nil && !alive(dest) {
-				continue
-			}
-			if len(sv.offersAt[dest]) == 0 && len(sv.requestsAt[dest]) == 0 {
-				sv.touched = append(sv.touched, int32(dest))
-			}
-			sv.requestsAt[dest] = append(sv.requestsAt[dest], int32(i))
-			res.RequestsSent++
-		}
-	}
-
-	// Steps 2-3: every rendezvous matches what it received.
-	for _, v := range sv.touched {
-		offers := sv.offersAt[v]
-		requests := sv.requestsAt[v]
-		MatchRendezvous(offers, requests, s, func(sender, receiver int32) {
-			res.Dates = append(res.Dates, Date{Sender: int(sender), Receiver: int(receiver)})
-			res.PerNodeOut[sender]++
-			res.PerNodeIn[receiver]++
-		})
-		sv.offersAt[v] = offers[:0]
-		sv.requestsAt[v] = requests[:0]
-	}
-	return res
+	sv.eng.one[0] = s
+	return sv.runEngine(sv.eng.one[:], 1, alive)
 }
 
 // MatchRendezvous implements the rendezvous step of Algorithm 1 for one

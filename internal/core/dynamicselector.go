@@ -36,3 +36,12 @@ func (ds DynamicRingSelector) Pick(s *rng.Stream) int {
 
 // N implements Selector: the id space size, matching the profile width.
 func (ds DynamicRingSelector) N() int { return ds.ring.N() }
+
+// Prepare implements Preparer: it forces the lazy ring rebuild that Pick
+// would otherwise trigger, so that the parallel engine's workers only ever
+// read the snapshot concurrently. Membership must not change during a
+// round, which the round-synchronous simulations guarantee.
+func (ds DynamicRingSelector) Prepare() error {
+	_, _, err := ds.ring.Snapshot()
+	return err
+}

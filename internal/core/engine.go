@@ -1,0 +1,338 @@
+package core
+
+// This file implements the flat round engine shared by the serial and
+// parallel execution paths of Algorithm 1.
+//
+// Instead of appending each request to a per-rendezvous slice (one heap
+// object per node, pointer-chasing in the match pass), the engine lays the
+// round out as a counting sort keyed by rendezvous:
+//
+//	scatter  each worker draws destinations for a contiguous shard of
+//	         senders and records (dest, sender) pairs plus a per-worker
+//	         per-destination count;
+//	offsets  one serial scan turns the counts into a global offset table
+//	         (bucket v of each kind is the contiguous region
+//	         flat[off[v]:off[v+1]]) and into per-worker write cursors;
+//	fill     each worker replays its recorded pairs, writing sender ids
+//	         into its own disjoint cursor ranges;
+//	match    each worker runs MatchRendezvous over a contiguous shard of
+//	         rendezvous buckets, appending to a private date buffer;
+//	merge    date buffers are concatenated in worker order and the
+//	         per-node counters are rebuilt from the merged dates.
+//
+// Bucket v always holds its requests in global sender order (worker shards
+// are contiguous sender ranges, visited in order within a worker), so the
+// layout — and therefore the whole round — is a pure function of
+// (profile, selector, worker streams, workers, alive). Results are exactly
+// reproducible for a fixed (seed, workers) pair, on any GOMAXPROCS, under
+// any goroutine schedule.
+//
+// The engine assumes fewer than 2^31 requests of each kind per round
+// (offsets are int32); each recorded request already costs 8 bytes of
+// scratch, so this bound is far beyond any round that fits in memory.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Preparer is an optional Selector extension: selectors whose Pick would
+// lazily mutate shared state (e.g. DynamicRingSelector rebuilding its ring
+// snapshot) implement Prepare so the parallel engine can force that work to
+// happen once, before workers fan out. Selectors without Prepare must be
+// read-only under Pick.
+type Preparer interface {
+	// Prepare brings the selector to a state where concurrent Pick calls
+	// with distinct streams are safe.
+	Prepare() error
+}
+
+// workerScratch is the per-worker slice of the engine state. Workers only
+// ever touch their own scratch (plus disjoint regions of the shared flat
+// arrays), so no locking is needed.
+type workerScratch struct {
+	// Recorded scatter output, in sender order: request k of the shard was
+	// addressed to dest[k] by sender[k]. Requests lost to a dead rendezvous
+	// are never recorded.
+	offerDest   []int32
+	offerSender []int32
+	reqDest     []int32
+	reqSender   []int32
+
+	// Per-destination counts of this worker's recorded requests; the offset
+	// pass rewrites them in place into absolute write cursors for the fill
+	// pass.
+	offerCount []int32
+	reqCount   []int32
+
+	dates        []Date
+	offersSent   int
+	requestsSent int
+}
+
+func (ws *workerScratch) reset(n int) {
+	ws.offerDest = ws.offerDest[:0]
+	ws.offerSender = ws.offerSender[:0]
+	ws.reqDest = ws.reqDest[:0]
+	ws.reqSender = ws.reqSender[:0]
+	ws.dates = ws.dates[:0]
+	ws.offersSent = 0
+	ws.requestsSent = 0
+	if len(ws.offerCount) != n {
+		ws.offerCount = make([]int32, n)
+		ws.reqCount = make([]int32, n)
+		return
+	}
+	for i := range ws.offerCount {
+		ws.offerCount[i] = 0
+		ws.reqCount[i] = 0
+	}
+}
+
+// engineScratch is the round state a Service reuses across rounds. It grows
+// to the largest (n, workers) seen and is never shared between Services.
+type engineScratch struct {
+	ws         []workerScratch
+	offerOff   []int32 // len n+1: offers bucket v is offersFlat[offerOff[v]:offerOff[v+1]]
+	reqOff     []int32
+	offersFlat []int32
+	reqFlat    []int32
+	senderCut  []int // len workers+1: worker w scatters senders [cut[w], cut[w+1])
+	rdvCut     []int // len workers+1: worker w matches rendezvous [cut[w], cut[w+1])
+	one        [1]*rng.Stream
+
+	// weight is the sender-shard balance weight bout(i)+bin(i); set by
+	// NewService (engineScratch does not hold the profile).
+	weight     func(i int) int
+	cutWorkers int // workers count senderCut was computed for, 0 if stale
+}
+
+// RunRoundParallel executes Algorithm 1 once across workers goroutines,
+// using streams[w] as worker w's private randomness for both the scatter
+// and the match pass. len(streams) must be at least workers; derive the
+// streams once with rng.NewStreams(seed, workers) and reuse them across
+// rounds — their evolution stays deterministic.
+//
+// The result is exactly reproducible for a fixed (stream seeds, workers)
+// pair and satisfies the same capacity invariants as RunRound; different
+// worker counts give different (equally distributed) rounds. The Service's
+// scratch is reused, so a Service still runs one round at a time.
+func (sv *Service) RunRoundParallel(streams []*rng.Stream, workers int) (RoundResult, error) {
+	return sv.RunRoundParallelFiltered(streams, workers, nil)
+}
+
+// RunRoundParallelFiltered is RunRoundParallel with the liveness predicate
+// of RunRoundFiltered. alive is called concurrently from all workers and
+// must be safe for concurrent use (in practice: a pure read of state that
+// does not change during the round).
+func (sv *Service) RunRoundParallelFiltered(streams []*rng.Stream, workers int, alive func(i int) bool) (RoundResult, error) {
+	if workers < 1 {
+		return RoundResult{}, fmt.Errorf("core: parallel round needs workers >= 1, got %d", workers)
+	}
+	if len(streams) < workers {
+		return RoundResult{}, fmt.Errorf("core: parallel round needs one stream per worker: %d streams < %d workers", len(streams), workers)
+	}
+	for w, s := range streams[:workers] {
+		if s == nil {
+			return RoundResult{}, fmt.Errorf("core: worker %d has a nil stream", w)
+		}
+	}
+	if p, ok := sv.sel.(Preparer); ok {
+		if err := p.Prepare(); err != nil {
+			return RoundResult{}, fmt.Errorf("core: selector prepare failed: %w", err)
+		}
+	}
+	return sv.runEngine(streams[:workers], workers, alive), nil
+}
+
+// runEngine is the shared round body; workers == 1 runs every phase inline
+// on the calling goroutine (the serial path spawns nothing).
+func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i int) bool) RoundResult {
+	n := sv.profile.N()
+	eng := &sv.eng
+	eng.ensure(n, workers)
+
+	// Fan a phase out across the workers; phases are separated by barriers.
+	runPhase := func(f func(w int)) {
+		if workers == 1 {
+			f(0)
+			return
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				f(w)
+			}(w)
+		}
+		f(0)
+		wg.Wait()
+	}
+
+	// Scatter: worker w draws destinations for its sender shard.
+	out, in := sv.profile.Out, sv.profile.In
+	runPhase(func(w int) {
+		ws := &eng.ws[w]
+		ws.reset(n)
+		s := streams[w]
+		for i := eng.senderCut[w]; i < eng.senderCut[w+1]; i++ {
+			if alive != nil && !alive(i) {
+				continue
+			}
+			for k := 0; k < out[i]; k++ {
+				dest := sv.sel.Pick(s)
+				if alive != nil && !alive(dest) {
+					continue // lost: rendezvous is down
+				}
+				ws.offerDest = append(ws.offerDest, int32(dest))
+				ws.offerSender = append(ws.offerSender, int32(i))
+				ws.offerCount[dest]++
+				ws.offersSent++
+			}
+			for k := 0; k < in[i]; k++ {
+				dest := sv.sel.Pick(s)
+				if alive != nil && !alive(dest) {
+					continue
+				}
+				ws.reqDest = append(ws.reqDest, int32(dest))
+				ws.reqSender = append(ws.reqSender, int32(i))
+				ws.reqCount[dest]++
+				ws.requestsSent++
+			}
+		}
+	})
+
+	// Offsets: one serial scan builds the global bucket offsets and turns
+	// each worker's counts into its absolute write cursors, partitioning
+	// every bucket as (worker 0's senders, worker 1's senders, ...) — i.e.
+	// global sender order.
+	var offTotal, reqTotal int32
+	for v := 0; v < n; v++ {
+		eng.offerOff[v] = offTotal
+		eng.reqOff[v] = reqTotal
+		for w := 0; w < workers; w++ {
+			ws := &eng.ws[w]
+			c := ws.offerCount[v]
+			ws.offerCount[v] = offTotal
+			offTotal += c
+			c = ws.reqCount[v]
+			ws.reqCount[v] = reqTotal
+			reqTotal += c
+		}
+	}
+	eng.offerOff[n] = offTotal
+	eng.reqOff[n] = reqTotal
+	eng.offersFlat = grow(eng.offersFlat, int(offTotal))
+	eng.reqFlat = grow(eng.reqFlat, int(reqTotal))
+
+	// Fill: each worker replays its recorded pairs into its disjoint cursor
+	// ranges of the flat arrays.
+	runPhase(func(w int) {
+		ws := &eng.ws[w]
+		for idx, d := range ws.offerDest {
+			eng.offersFlat[ws.offerCount[d]] = ws.offerSender[idx]
+			ws.offerCount[d]++
+		}
+		for idx, d := range ws.reqDest {
+			eng.reqFlat[ws.reqCount[d]] = ws.reqSender[idx]
+			ws.reqCount[d]++
+		}
+	})
+
+	// Match: shard rendezvous nodes across workers, balanced by bucket
+	// size (the shuffle cost of MatchRendezvous is linear in it).
+	eng.rdvCut = balancedCuts(eng.rdvCut, n, workers, func(v int) int {
+		return int(eng.offerOff[v+1]-eng.offerOff[v]) + int(eng.reqOff[v+1]-eng.reqOff[v])
+	})
+	runPhase(func(w int) {
+		ws := &eng.ws[w]
+		s := streams[w]
+		emit := func(sender, receiver int32) {
+			ws.dates = append(ws.dates, Date{Sender: int(sender), Receiver: int(receiver)})
+		}
+		for v := eng.rdvCut[w]; v < eng.rdvCut[w+1]; v++ {
+			offers := eng.offersFlat[eng.offerOff[v]:eng.offerOff[v+1]]
+			requests := eng.reqFlat[eng.reqOff[v]:eng.reqOff[v+1]]
+			MatchRendezvous(offers, requests, s, emit)
+		}
+	})
+
+	// Merge: concatenate per-worker dates in worker order and rebuild the
+	// per-node counters from the merged list.
+	res := RoundResult{
+		PerNodeOut: make([]int, n),
+		PerNodeIn:  make([]int, n),
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += len(eng.ws[w].dates)
+	}
+	res.Dates = make([]Date, 0, total)
+	for w := 0; w < workers; w++ {
+		ws := &eng.ws[w]
+		res.Dates = append(res.Dates, ws.dates...)
+		res.OffersSent += ws.offersSent
+		res.RequestsSent += ws.requestsSent
+	}
+	for _, d := range res.Dates {
+		res.PerNodeOut[d.Sender]++
+		res.PerNodeIn[d.Receiver]++
+	}
+	return res
+}
+
+// ensure sizes the scratch for an (n, workers) round and recomputes the
+// sender shard boundaries when the worker count changes. Sender shards are
+// balanced by per-node request weight bout(i)+bin(i), so skewed profiles
+// still split evenly.
+func (eng *engineScratch) ensure(n, workers int) {
+	if len(eng.ws) < workers {
+		eng.ws = append(eng.ws, make([]workerScratch, workers-len(eng.ws))...)
+	}
+	if len(eng.offerOff) != n+1 {
+		eng.offerOff = make([]int32, n+1)
+		eng.reqOff = make([]int32, n+1)
+		eng.cutWorkers = 0
+	}
+	if eng.cutWorkers != workers {
+		// The profile is fixed for the Service's lifetime, so the cuts only
+		// depend on the worker count; eng.weight is set by NewService.
+		eng.senderCut = balancedCuts(eng.senderCut, n, workers, eng.weight)
+		eng.cutWorkers = workers
+	}
+}
+
+// grow returns s resliced to length size, reallocating only when needed.
+func grow(s []int32, size int) []int32 {
+	if cap(s) >= size {
+		return s[:size]
+	}
+	return make([]int32, size)
+}
+
+// balancedCuts splits [0, n) into parts contiguous ranges of roughly equal
+// total weight, returning the parts+1 boundaries (reusing cuts). Empty
+// ranges are possible when parts > n or the weight is concentrated; they
+// are valid (the worker simply does nothing). The result is a pure
+// function of its inputs, keeping shard assignment deterministic.
+func balancedCuts(cuts []int, n, parts int, weight func(i int) int) []int {
+	cuts = append(cuts[:0], 0)
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(weight(i))
+	}
+	var acc int64
+	i := 0
+	for p := 1; p < parts; p++ {
+		target := total * int64(p) / int64(parts)
+		for i < n && acc < target {
+			acc += int64(weight(i))
+			i++
+		}
+		cuts = append(cuts, i)
+	}
+	return append(cuts, n)
+}

@@ -1,6 +1,8 @@
 package gossip
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/rng"
 )
@@ -14,13 +16,29 @@ import (
 // an uninformed sender simply carries nothing useful). This wastes some
 // bandwidth but keeps the protocol simple and churn-tolerant, and the
 // O(log n) bound holds regardless (Theorem 4).
-func datingStep(svc *core.Service) stepFunc {
+//
+// When workerStreams is non-empty the round runs on the parallel engine
+// with len(workerStreams) workers — the large-n path; otherwise it runs
+// serially on the caller's stream.
+func datingStep(svc *core.Service, workerStreams []*rng.Stream) stepFunc {
 	return func(st *state, s *rng.Stream) {
-		var res core.RoundResult
+		var alive func(i int) bool
 		if anyDead(st.alive) {
-			res = svc.RunRoundFiltered(s, func(i int) bool { return st.alive[i] })
+			// st.alive is fixed for the duration of the round, so the
+			// closure is safe for the engine's concurrent workers.
+			alive = func(i int) bool { return st.alive[i] }
+		}
+		var res core.RoundResult
+		if len(workerStreams) > 1 {
+			var err error
+			res, err = svc.RunRoundParallelFiltered(workerStreams, len(workerStreams), alive)
+			if err != nil {
+				// Run validated the worker configuration; a failure here is
+				// a programming error, not a runtime condition.
+				panic(fmt.Sprintf("gossip: parallel dating round failed: %v", err))
+			}
 		} else {
-			res = svc.RunRound(s)
+			res = svc.RunRoundFiltered(s, alive)
 		}
 		for _, d := range res.Dates {
 			// Every date consumes bandwidth on both sides whether or not it

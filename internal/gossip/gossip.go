@@ -82,6 +82,12 @@ type Config struct {
 	// CrashProb, if positive, crashes each live non-source node with this
 	// probability at the start of every round (experiment E9).
 	CrashProb float64
+	// Workers, if greater than 1, runs every dating round on the parallel
+	// engine (core.Service.RunRoundParallel) with that many workers; the
+	// per-worker streams are split deterministically from the run stream,
+	// so a run stays reproducible for a fixed (seed, Workers). Baselines
+	// ignore it. 0 and 1 select the serial path.
+	Workers int
 	// OnRound, if non-nil, observes the informed set after each round; the
 	// slice must not be retained or modified.
 	OnRound func(round int, informed []bool)
@@ -144,6 +150,9 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 			return Result{}, fmt.Errorf("gossip: crash probability %v out of [0,1)", cfg.CrashProb)
 		}
 	}
+	if cfg.Workers < 0 {
+		return Result{}, fmt.Errorf("gossip: workers %d must be non-negative", cfg.Workers)
+	}
 
 	profile := cfg.Profile
 	if profile.N() == 0 {
@@ -177,7 +186,16 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		step = datingStep(svc)
+		var workerStreams []*rng.Stream
+		if cfg.Workers > 1 {
+			// Split the worker streams off the run stream up front so their
+			// seeds — and hence the whole run — depend only on (seed, Workers).
+			workerStreams = make([]*rng.Stream, cfg.Workers)
+			for i := range workerStreams {
+				workerStreams[i] = s.Split()
+			}
+		}
+		step = datingStep(svc, workerStreams)
 	default:
 		return Result{}, fmt.Errorf("gossip: unknown algorithm %v", cfg.Algorithm)
 	}

@@ -1,0 +1,53 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDatingParallelWorkers(t *testing.T) {
+	// The parallel engine behind the spreader: completes in O(log n)
+	// rounds, never exceeds unit bandwidth, and is reproducible for a
+	// fixed (seed, Workers).
+	run := func() Result {
+		res, err := Run(Config{Algorithm: Dating, N: 2048, Workers: 4}, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if !a.Completed {
+		t.Fatalf("incomplete after %d rounds", a.Rounds)
+	}
+	if a.Rounds < 10 || a.Rounds > 80 {
+		t.Fatalf("%d rounds is not O(log n) at n=2048", a.Rounds)
+	}
+	if a.MaxInLoad > 1 || a.MaxOutLoad > 1 {
+		t.Fatalf("parallel dating exceeded unit bandwidth: in %d out %d", a.MaxInLoad, a.MaxOutLoad)
+	}
+	if b := run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs with the same (seed, Workers) diverged")
+	}
+}
+
+func TestDatingParallelWithChurn(t *testing.T) {
+	res, err := Run(Config{Algorithm: Dating, N: 800, Workers: 3, CrashProb: 0.01}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete after %d rounds (%d crashed)", res.Rounds, res.Crashed)
+	}
+	if res.MaxInLoad > 1 || res.MaxOutLoad > 1 {
+		t.Fatalf("churny parallel dating exceeded unit bandwidth: in %d out %d", res.MaxInLoad, res.MaxOutLoad)
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	if _, err := Run(Config{Algorithm: Dating, N: 10, Workers: -1}, rng.New(1)); err == nil {
+		t.Error("accepted negative Workers")
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// EngineRow reports one worker count of the round-engine benchmark.
+type EngineRow struct {
+	Workers        int     `json:"workers"`
+	SecondsPerRnd  float64 `json:"seconds_per_round"`
+	RequestsPerSec float64 `json:"requests_per_second"` // scattered offers+demands per wall second
+	Fraction       float64 `json:"fraction"`            // arranged dates / m, averaged over rounds
+	Speedup        float64 `json:"speedup_vs_serial"`   // serial seconds / this row's seconds
+}
+
+// EngineResult is the full round-engine benchmark: one serial baseline row
+// (workers = 1) followed by the requested parallel worker counts.
+type EngineResult struct {
+	N      int         `json:"n"`
+	Rounds int         `json:"rounds"`
+	Rows   []EngineRow `json:"rows"`
+}
+
+// Table renders the benchmark in the repository's table shape.
+func (r EngineResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Round engine — n=%d, %d rounds per point (uniform selection, unit bandwidth)", r.N, r.Rounds),
+		"workers", "s/round", "req/s", "fraction", "speedup",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.Workers),
+			fmt.Sprintf("%.4f", row.SecondsPerRnd),
+			fmt.Sprintf("%.3g", row.RequestsPerSec),
+			fmt.Sprintf("%.4f", row.Fraction),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		)
+	}
+	return t
+}
+
+// RunEngineScaled is the registry entry point for the engine benchmark:
+// quick scale profiles n = 100k (3 rounds per point, 2/4 workers), paper
+// scale the million-node profile (5 rounds per point, 2/4/8 workers).
+func RunEngineScaled(scale Scale, seed uint64) (EngineResult, error) {
+	if scale == ScalePaper {
+		return RunEngineBench(1_000_000, 5, []int{2, 4, 8}, seed)
+	}
+	return RunEngineBench(100_000, 3, []int{2, 4}, seed)
+}
+
+// RunEngineBench profiles the dating-service round engine at a single
+// large n: it times the serial path, then the parallel path at each
+// requested worker count, on a homogeneous unit-bandwidth profile under
+// uniform selection (the Figure 1 hot path). Every configuration validates
+// its first round against ValidateCapacities so a performance run doubles
+// as a safety check. The million-node profile of the ISSUE is
+// RunEngineBench(1_000_000, rounds, []int{2, 4, ...}, seed).
+func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResult, error) {
+	if n <= 0 || rounds <= 0 {
+		return EngineResult{}, fmt.Errorf("sim: engine bench needs positive n and rounds (got n=%d rounds=%d)", n, rounds)
+	}
+	res := EngineResult{N: n, Rounds: rounds}
+
+	counts := append([]int{1}, workerCounts...)
+	serialSec := 0.0
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+
+		sel, err := core.NewUniformSelector(n)
+		if err != nil {
+			return EngineResult{}, err
+		}
+		svc, err := core.NewService(bandwidth.Homogeneous(n, 1), sel)
+		if err != nil {
+			return EngineResult{}, err
+		}
+		streams := rng.NewStreams(seed, workers)
+
+		// Warm-up round: touches every scratch buffer so allocation cost
+		// does not pollute the timing, and validates the safety property.
+		first, err := svc.RunRoundParallel(streams, workers)
+		if err != nil {
+			return EngineResult{}, err
+		}
+		if err := core.ValidateCapacities(first, svc.Profile()); err != nil {
+			return EngineResult{}, fmt.Errorf("sim: engine bench workers=%d: %w", workers, err)
+		}
+
+		dates := 0
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			out, err := svc.RunRoundParallel(streams, workers)
+			if err != nil {
+				return EngineResult{}, err
+			}
+			dates += len(out.Dates)
+		}
+		sec := time.Since(start).Seconds() / float64(rounds)
+
+		row := EngineRow{
+			Workers:        workers,
+			SecondsPerRnd:  sec,
+			RequestsPerSec: float64(2*n) / sec,
+			Fraction:       float64(dates) / float64(rounds) / float64(n),
+		}
+		if workers == 1 {
+			serialSec = sec
+		}
+		if serialSec > 0 && sec > 0 {
+			row.Speedup = serialSec / sec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

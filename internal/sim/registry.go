@@ -22,7 +22,8 @@ func tabler[T interface{ Table() *stats.Table }](f func(Scale, uint64) (T, error
 }
 
 // Registry lists every experiment in DESIGN.md's per-experiment index, in
-// presentation order.
+// presentation order, plus the round-engine throughput benchmark (not part
+// of the paper's evaluation, but sharing the same driver interface).
 func Registry() []Experiment {
 	return []Experiment{
 		{"figure1", "fraction of dates arranged (uniform vs DHT)", tabler(RunFigure1)},
@@ -38,5 +39,6 @@ func Registry() []Experiment {
 		{"multirumor", "E11: concurrent rumors share the dates", tabler(RunMultiRumorExperiment)},
 		{"loads", "E12: worst per-node loads (bandwidth honesty)", tabler(RunLoadViolation)},
 		{"dynamicdht", "E13: spreading over a churning DHT", tabler(RunDynamicDHT)},
+		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
 	}
 }

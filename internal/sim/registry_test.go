@@ -4,8 +4,8 @@ import "testing"
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
-		t.Fatalf("registry has %d experiments, DESIGN.md lists 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, DESIGN.md lists 13 plus the engine benchmark", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

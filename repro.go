@@ -135,6 +135,22 @@ func NewDatingService(p Profile, sel Selector) (*DatingService, error) {
 	return core.NewService(p, sel)
 }
 
+// RunParallelRound executes one round of Algorithm 1 on the service's
+// deterministic multi-core engine, deriving the per-worker streams from
+// seed. The result is exactly reproducible for a fixed (seed, workers) and
+// satisfies the same capacity invariants as DatingService.RunRound.
+//
+// For round sequences, derive the streams once and reuse them:
+//
+//	streams := repro.NewStreams(seed, workers)
+//	for r := 0; r < rounds; r++ {
+//		res, err := svc.RunRoundParallel(streams, workers)
+//		...
+//	}
+func RunParallelRound(svc *DatingService, seed uint64, workers int) (RoundResult, error) {
+	return svc.RunRoundParallel(rng.NewStreams(seed, workers), workers)
+}
+
 // ArrangeDates runs a single dating round directly from per-node supply and
 // demand vectors (the abstract resource-matching interface of the paper's
 // introduction; zeros are allowed).
