@@ -455,6 +455,40 @@ func BenchmarkArrangeDates(b *testing.B) {
 	}
 }
 
+func BenchmarkArranger(b *testing.B) {
+	// The scratch-reusing engine path behind ArrangeDates; output is
+	// bit-identical for every worker count, so the sub-benchmarks measure
+	// pure coordination cost (speedup needs real cores).
+	const n = 100000
+	sel, _ := core.NewUniformSelector(n)
+	out := make([]int, n)
+	in := make([]int, n)
+	for i := range out {
+		out[i] = 1
+		in[i] = 1
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+			arr, err := core.NewArranger(sel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := rng.New(14)
+			dates := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds, err := arr.Arrange(out, in, s.Uint64(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dates += len(ds)
+			}
+			b.ReportMetric(float64(dates)/float64(b.N)/float64(n), "fraction")
+			b.ReportMetric(float64(2*n)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
 func BenchmarkGF256Mul(b *testing.B) {
 	var acc byte
 	for i := 0; i < b.N; i++ {

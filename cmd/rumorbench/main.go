@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	rumorbench [-scale quick|paper] [-seed N] [-csv]
+//	rumorbench [-scale quick|paper] [-seed N] [-par N] [-csv]
+//
+// -par fans the independent spreading repetitions across N goroutines
+// (default GOMAXPROCS). Repetition seeds are derived from (seed, n,
+// algorithm, repetition), so the table is byte-identical for every -par
+// value — parallelism can never change published numbers.
 //
 // The paper's reading of the result: the ordering from fastest to slowest
 // is PUSH&PULL, fair PUSH&PULL, PULL, fair PULL, PUSH, dating — but the
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/gossip"
 	"repro/internal/sim"
@@ -27,6 +33,7 @@ import (
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper")
 	seed := flag.Uint64("seed", 42, "root random seed")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers (results identical for any value)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 
@@ -35,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := sim.RunFigure2(scale, *seed)
+	res, err := sim.RunFigure2Par(scale, *seed, *par)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rumorbench:", err)
 		os.Exit(1)

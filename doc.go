@@ -57,6 +57,38 @@
 // engine. cmd/datebench's engine mode benchmarks serial versus parallel
 // rounds at million-node scale.
 //
+// # Worker-count-independent arranging
+//
+// The supply/demand interface goes one step further. An Arranger
+// (NewArranger) draws its randomness not from one stream per worker but
+// from streams derived per unit of work — SplitMix64(seed, scatterDomain,
+// node) for each node's request scatter and SplitMix64(seed, matchDomain,
+// rendezvous) for each rendezvous's matching, with two fixed domain tags
+// keeping the streams disjoint even when a node id equals a rendezvous id
+// — so whichever worker processes a node or bucket draws exactly the same
+// values. Arrange(out, in, seed, workers) is
+// therefore bit-for-bit identical for every workers count: parallelism is
+// purely a speed knob. StorageConfig.Workers and the churning-DHT
+// experiment ride on this.
+//
+// # The repetition-parallel experiment harness
+//
+// Above single rounds, the experiment harness behind cmd/hetsim,
+// cmd/datebench and cmd/rumorbench parallelizes at the repetition grain:
+// every (overlay, repetition) cell of a figure sweep is an independent
+// simulation, run as one job with its own Service on its own goroutine.
+// Job streams are seeded
+//
+//	SplitMix64(rootSeed, domainTag, coordinates...)
+//
+// where the coordinates are the job's position in the sweep — (n index,
+// overlay index) for Figure 1, (n index, algorithm, repetition) for
+// Figure 2 — never "the next value of a shared generator". Combined with
+// fixed-order aggregation after the fan-in barrier, published tables are
+// byte-identical for every worker count; the -par flag of the CLIs only
+// changes wall-clock time. Golden tests pin the quick-scale tables by hash
+// so harness parallelism can never silently change published numbers.
+//
 // See the runnable programs under examples/ and the reproduction CLIs under
 // cmd/.
 package repro

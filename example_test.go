@@ -110,3 +110,31 @@ func ExampleArrangeDates() {
 	fmt.Println(valid)
 	// Output: true
 }
+
+// An Arranger reuses scratch across rounds, and its worker count never
+// changes the arranged dates: randomness is derived per node and per
+// rendezvous from the round seed, not per worker.
+func ExampleNewArranger() {
+	sel, _ := repro.Uniform(1000)
+	arr, _ := repro.NewArranger(sel)
+
+	supply := make([]int, 1000)
+	demand := make([]int, 1000)
+	for i := range supply {
+		supply[i] = 1
+		demand[i] = 1
+	}
+
+	serial, _ := arr.Arrange(supply, demand, 42, 1)
+	parallel, _ := arr.Arrange(supply, demand, 42, 8)
+
+	same := len(serial) == len(parallel)
+	for i := range serial {
+		same = same && serial[i] == parallel[i]
+	}
+	fmt.Println(same)
+	fmt.Println(float64(len(serial))/1000 > 0.40)
+	// Output:
+	// true
+	// true
+}

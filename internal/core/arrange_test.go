@@ -1,0 +1,321 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// referenceArrange is the seed algorithm ArrangeDates replaced: a per-node
+// append scatter into one heap slice per rendezvous, followed by a bucket
+// walk in rendezvous order. It is kept here — fed the same per-node and
+// per-bucket derived streams as the Arranger — as the executable
+// specification the flat counting-sort layout must reproduce exactly.
+func referenceArrange(t *testing.T, out, in []int, sel Selector, seed uint64) []Date {
+	t.Helper()
+	n := sel.N()
+	offersAt := make([][]int32, n)
+	requestsAt := make([][]int32, n)
+	gen := rng.NewXoshiro256(0)
+	s := rng.NewWithSource(gen)
+	for i := 0; i < n; i++ {
+		if out[i] == 0 && in[i] == 0 {
+			continue
+		}
+		gen.Seed(rng.Derive(seed, domainScatter, uint64(i)))
+		for k := 0; k < out[i]; k++ {
+			dest := sel.Pick(s)
+			offersAt[dest] = append(offersAt[dest], int32(i))
+		}
+		for k := 0; k < in[i]; k++ {
+			dest := sel.Pick(s)
+			requestsAt[dest] = append(requestsAt[dest], int32(i))
+		}
+	}
+	var dates []Date
+	for v := 0; v < n; v++ {
+		if len(offersAt[v]) == 0 || len(requestsAt[v]) == 0 {
+			continue
+		}
+		gen.Seed(rng.Derive(seed, domainMatch, uint64(v)))
+		MatchRendezvous(offersAt[v], requestsAt[v], s, func(sender, receiver int32) {
+			dates = append(dates, Date{Sender: int(sender), Receiver: int(receiver)})
+		})
+	}
+	return dates
+}
+
+// emptySelector is the degenerate n = 0 distribution (no node ever requests
+// anything, so Pick must never be called).
+type emptySelector struct{}
+
+func (emptySelector) Pick(*rng.Stream) int { panic("pick on an empty selector") }
+func (emptySelector) N() int               { return 0 }
+
+// arrangeCase builds a randomized (requests, selector) input at size n.
+func arrangeCase(t *testing.T, n int, maxB int, s *rng.Stream) (out, in []int, sel Selector) {
+	t.Helper()
+	out = make([]int, n)
+	in = make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Intn(maxB + 1) // zeros included: fluctuating demand
+		in[i] = s.Intn(maxB + 1)
+	}
+	if n == 0 {
+		return out, in, emptySelector{}
+	}
+	if s.Bool() {
+		u, err := NewUniformSelector(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, in, u
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(s.Intn(9) + 1)
+	}
+	ws, err := NewWeightedSelector(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, in, ws
+}
+
+// validateArrangement checks the paper's safety property directly on an
+// ArrangeDates result: no node exceeds its declared supply or demand.
+func validateArrangement(t *testing.T, dates []Date, out, in []int) {
+	t.Helper()
+	res := RoundResult{Dates: dates, PerNodeOut: make([]int, len(out)), PerNodeIn: make([]int, len(in))}
+	for _, d := range dates {
+		if d.Sender < 0 || d.Sender >= len(out) || d.Receiver < 0 || d.Receiver >= len(in) {
+			t.Fatalf("date %v references invalid node", d)
+		}
+		res.PerNodeOut[d.Sender]++
+		res.PerNodeIn[d.Receiver]++
+	}
+	if err := ValidateCapacities(res, bandwidth.Profile{Out: out, In: in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrangeMatchesReference(t *testing.T) {
+	// The equivalence property: on randomized (requests, selector, capacity)
+	// inputs the flat-engine Arranger produces the exact date sequence of
+	// the seed's append-scatter algorithm (a fortiori the same multiset),
+	// serially and at every worker count, and both pass the capacity check.
+	caseRng := rng.New(17)
+	for _, n := range []int{0, 1, 17, 1000} {
+		for trial := 0; trial < 6; trial++ {
+			out, in, sel := arrangeCase(t, n, 4, caseRng)
+			seed := caseRng.Uint64()
+			want := referenceArrange(t, out, in, sel, seed)
+			validateArrangement(t, want, out, in)
+			for _, workers := range []int{1, 2, 4, 7} {
+				a, err := NewArranger(sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := a.Arrange(out, in, seed, workers)
+				if err != nil {
+					t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+				}
+				if len(got) != len(want) || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+					t.Fatalf("n=%d trial=%d workers=%d: %d dates diverge from the reference (%d)",
+						n, trial, workers, len(got), len(want))
+				}
+				validateArrangement(t, got, out, in)
+			}
+		}
+	}
+}
+
+func TestArrangeWorkersBitIdentical10k(t *testing.T) {
+	// The acceptance bar: at n = 10k, Workers=k yields bit-identical dates
+	// to Workers=1 for a fixed seed, on fresh and on reused scratch alike.
+	const n, seed = 10000, 4242
+	sel, err := NewUniformSelector(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, n)
+	in := make([]int, n)
+	prof := rng.New(1)
+	for i := 0; i < n; i++ {
+		out[i] = prof.Intn(3)
+		in[i] = prof.Intn(3)
+	}
+	base, err := NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Arrange(out, in, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate round: no dates arranged")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		a, err := NewArranger(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ { // rep 1 exercises reused scratch
+			got, err := a.Arrange(out, in, seed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d rep=%d: dates differ from serial", workers, rep)
+			}
+		}
+	}
+}
+
+func TestArrangeMixedSerialParallelScratchReset(t *testing.T) {
+	// Regression: one Arranger cycling through worker counts and changing
+	// supply/demand every round must behave exactly like a fresh Arranger —
+	// any scratch not fully reset between mixed serial/parallel calls would
+	// surface as a divergence.
+	const n = 400
+	sel, err := NewUniformSelector(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundRng := rng.New(99)
+	workerCycle := []int{1, 4, 2, 8, 1, 3}
+	for round := 0; round < 18; round++ {
+		out := make([]int, n)
+		in := make([]int, n)
+		for i := 0; i < n; i++ {
+			out[i] = roundRng.Intn(4)
+			in[i] = roundRng.Intn(4)
+		}
+		seed := roundRng.Uint64()
+		workers := workerCycle[round%len(workerCycle)]
+		got, err := reused.Arrange(out, in, seed, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewArranger(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Arrange(out, in, seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d (workers=%d): reused scratch diverged from a fresh arranger", round, workers)
+		}
+		validateArrangement(t, got, out, in)
+	}
+}
+
+func TestArrangeValidation(t *testing.T) {
+	if _, err := NewArranger(nil); err == nil {
+		t.Error("accepted a nil selector")
+	}
+	sel, err := NewUniformSelector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Arrange([]int{1, 1, 1, 1}, []int{1, 1, 1, 1}, 1, 0); err == nil {
+		t.Error("accepted workers = 0")
+	}
+	if _, err := a.Arrange([]int{1, 1}, []int{1, 1, 1, 1}, 1, 1); err == nil {
+		t.Error("accepted a short supply vector")
+	}
+	if _, err := a.Arrange([]int{1, -1, 1, 1}, []int{1, 1, 1, 1}, 1, 1); err == nil {
+		t.Error("accepted negative supply")
+	}
+	if _, err := ArrangeDates([]int{1}, []int{1}, nil, rng.New(1)); err == nil {
+		t.Error("ArrangeDates accepted a nil selector")
+	}
+}
+
+func TestArrangeDatesConsumesOneDraw(t *testing.T) {
+	// The compat wrapper draws the round seed from the caller's stream and
+	// nothing else, so caller-side determinism is independent of any future
+	// internal parallelism.
+	sel, err := NewUniformSelector(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 50)
+	in := make([]int, 50)
+	for i := range out {
+		out[i] = 1
+		in[i] = 1
+	}
+	used, probe := rng.New(31), rng.New(31)
+	if _, err := ArrangeDates(out, in, sel, used); err != nil {
+		t.Fatal(err)
+	}
+	probe.Uint64() // the one draw the wrapper is allowed
+	if used.Uint64() != probe.Uint64() {
+		t.Fatal("ArrangeDates consumed more than one draw from the caller's stream")
+	}
+}
+
+func TestArrangeDynamicRingSelectorParallel(t *testing.T) {
+	// The churning-DHT path: DynamicRingSelector's lazy snapshot rebuild
+	// must be forced by Prepare before the fanout, after which parallel
+	// rounds are race-free and bit-identical to serial ones.
+	const n = 300
+	ring, err := overlay.NewDynamicRing(n, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewDynamicRingSelector(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, n)
+	in := make([]int, n)
+	for i := range out {
+		out[i] = 1
+		in[i] = 1
+	}
+	churn := rng.New(6)
+	for round := 0; round < 10; round++ {
+		// Churn between rounds dirties the snapshot, so every round
+		// re-exercises the Prepare-before-fanout path.
+		for id := 0; id < n; id++ {
+			if churn.Bernoulli(0.05) {
+				if err := ring.Replace(id, churn); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		seed := churn.Uint64()
+		want, err := a.Arrange(out, in, seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Arrange(out, in, seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: parallel dates diverge from serial over a churning ring", round)
+		}
+		validateArrangement(t, got, out, in)
+	}
+}

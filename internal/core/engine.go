@@ -147,34 +147,80 @@ func (sv *Service) RunRoundParallelFiltered(streams []*rng.Stream, workers int, 
 	return sv.runEngine(streams[:workers], workers, alive), nil
 }
 
-// runEngine is the shared round body; workers == 1 runs every phase inline
-// on the calling goroutine (the serial path spawns nothing).
+// runPhase fans one phase of a round out across workers goroutines;
+// phases are separated by barriers. workers == 1 runs inline on the
+// calling goroutine (the serial path spawns nothing). Shared by the
+// Service round engine and the Arranger.
+func runPhase(workers int, f func(w int)) {
+	if workers == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	f(0)
+	wg.Wait()
+}
+
+// countingOffsets is the serial offset pass shared by the Service engine
+// and the Arranger: one scan builds the global bucket offsets and turns
+// each worker's per-destination counts into its absolute write cursors,
+// partitioning every bucket as (worker 0's senders, worker 1's senders,
+// ...) — i.e. global sender order, since worker shards are contiguous
+// ascending sender ranges. scratch(w) yields worker w's scratch; offerOff
+// and reqOff must have length n+1.
+func countingOffsets(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (offTotal, reqTotal int32) {
+	for v := 0; v < n; v++ {
+		offerOff[v] = offTotal
+		reqOff[v] = reqTotal
+		for w := 0; w < workers; w++ {
+			ws := scratch(w)
+			c := ws.offerCount[v]
+			ws.offerCount[v] = offTotal
+			offTotal += c
+			c = ws.reqCount[v]
+			ws.reqCount[v] = reqTotal
+			reqTotal += c
+		}
+	}
+	offerOff[n] = offTotal
+	reqOff[n] = reqTotal
+	return offTotal, reqTotal
+}
+
+// replayFill is the fill pass shared by the Service engine and the
+// Arranger: each worker replays its recorded (dest, sender) pairs into its
+// disjoint cursor ranges of the flat arrays.
+func replayFill(workers int, scratch func(w int) *workerScratch, offersFlat, reqFlat []int32) {
+	runPhase(workers, func(w int) {
+		ws := scratch(w)
+		for idx, d := range ws.offerDest {
+			offersFlat[ws.offerCount[d]] = ws.offerSender[idx]
+			ws.offerCount[d]++
+		}
+		for idx, d := range ws.reqDest {
+			reqFlat[ws.reqCount[d]] = ws.reqSender[idx]
+			ws.reqCount[d]++
+		}
+	})
+}
+
+// runEngine is the shared round body.
 func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i int) bool) RoundResult {
 	n := sv.profile.N()
 	eng := &sv.eng
 	eng.ensure(n, workers)
-
-	// Fan a phase out across the workers; phases are separated by barriers.
-	runPhase := func(f func(w int)) {
-		if workers == 1 {
-			f(0)
-			return
-		}
-		var wg sync.WaitGroup
-		for w := 1; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				f(w)
-			}(w)
-		}
-		f(0)
-		wg.Wait()
-	}
+	scratch := func(w int) *workerScratch { return &eng.ws[w] }
 
 	// Scatter: worker w draws destinations for its sender shard.
 	out, in := sv.profile.Out, sv.profile.In
-	runPhase(func(w int) {
+	runPhase(workers, func(w int) {
 		ws := &eng.ws[w]
 		ws.reset(n)
 		s := streams[w]
@@ -205,49 +251,19 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 		}
 	})
 
-	// Offsets: one serial scan builds the global bucket offsets and turns
-	// each worker's counts into its absolute write cursors, partitioning
-	// every bucket as (worker 0's senders, worker 1's senders, ...) — i.e.
-	// global sender order.
-	var offTotal, reqTotal int32
-	for v := 0; v < n; v++ {
-		eng.offerOff[v] = offTotal
-		eng.reqOff[v] = reqTotal
-		for w := 0; w < workers; w++ {
-			ws := &eng.ws[w]
-			c := ws.offerCount[v]
-			ws.offerCount[v] = offTotal
-			offTotal += c
-			c = ws.reqCount[v]
-			ws.reqCount[v] = reqTotal
-			reqTotal += c
-		}
-	}
-	eng.offerOff[n] = offTotal
-	eng.reqOff[n] = reqTotal
+	// Offsets and fill: counting-sort the recorded requests into one
+	// contiguous buffer per kind (see countingOffsets for the layout).
+	offTotal, reqTotal := countingOffsets(n, workers, scratch, eng.offerOff, eng.reqOff)
 	eng.offersFlat = grow(eng.offersFlat, int(offTotal))
 	eng.reqFlat = grow(eng.reqFlat, int(reqTotal))
-
-	// Fill: each worker replays its recorded pairs into its disjoint cursor
-	// ranges of the flat arrays.
-	runPhase(func(w int) {
-		ws := &eng.ws[w]
-		for idx, d := range ws.offerDest {
-			eng.offersFlat[ws.offerCount[d]] = ws.offerSender[idx]
-			ws.offerCount[d]++
-		}
-		for idx, d := range ws.reqDest {
-			eng.reqFlat[ws.reqCount[d]] = ws.reqSender[idx]
-			ws.reqCount[d]++
-		}
-	})
+	replayFill(workers, scratch, eng.offersFlat, eng.reqFlat)
 
 	// Match: shard rendezvous nodes across workers, balanced by bucket
 	// size (the shuffle cost of MatchRendezvous is linear in it).
 	eng.rdvCut = balancedCuts(eng.rdvCut, n, workers, func(v int) int {
 		return int(eng.offerOff[v+1]-eng.offerOff[v]) + int(eng.reqOff[v+1]-eng.reqOff[v])
 	})
-	runPhase(func(w int) {
+	runPhase(workers, func(w int) {
 		ws := &eng.ws[w]
 		s := streams[w]
 		emit := func(sender, receiver int32) {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// TestSelectorsConcurrentPick locks in the engine's fanout contract for
+// every selector the storage and dynamic experiments use: after Prepare
+// (when implemented), concurrent Pick calls with distinct streams must not
+// mutate any shared state. The race detector turns a violation into a
+// failure; the in-range check guards the returned values themselves.
+func TestSelectorsConcurrentPick(t *testing.T) {
+	const n = 256
+
+	uni, err := NewUniformSelector(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(i%5 + 1)
+	}
+	wsel, err := NewWeightedSelector(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := overlay.NewRing(n, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsel, err := NewRingSelector(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dring, err := overlay.NewDynamicRing(n, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the dynamic ring so only Prepare stands between the lazy
+	// rebuild and the concurrent Pick calls.
+	if err := dring.Replace(3, rng.New(13)); err != nil {
+		t.Fatal(err)
+	}
+	dsel, err := NewDynamicRingSelector(dring)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		sel  Selector
+	}{
+		{"uniform", uni},
+		{"weighted", wsel},
+		{"ring", rsel},
+		{"dynamic-ring", dsel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if p, ok := tc.sel.(Preparer); ok {
+				if err := p.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const goroutines, picks = 8, 2000
+			streams := rng.NewStreams(77, goroutines)
+			var wg sync.WaitGroup
+			errs := make([]int, goroutines) // out-of-range picks per goroutine
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for k := 0; k < picks; k++ {
+						if v := tc.sel.Pick(streams[g]); v < 0 || v >= tc.sel.N() {
+							errs[g]++
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, e := range errs {
+				if e > 0 {
+					t.Fatalf("goroutine %d: %d out-of-range picks", g, e)
+				}
+			}
+		})
+	}
+}

@@ -45,6 +45,12 @@ type MultiRumorConfig struct {
 	Injections []Injection
 	Forwarding Forwarding
 	MaxRounds  int
+	// Workers, if greater than 1, runs every dating round on the parallel
+	// engine, exactly as Config.Workers does for single-rumor runs: the
+	// per-worker streams are split deterministically from the run stream,
+	// so a run stays reproducible for a fixed (seed, Workers). 0 and 1
+	// select the serial path.
+	Workers int
 }
 
 // MultiRumorResult reports a multi-rumor run.
@@ -90,6 +96,18 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 	if err != nil {
 		return MultiRumorResult{}, err
 	}
+	if cfg.Workers < 0 {
+		return MultiRumorResult{}, fmt.Errorf("gossip: workers %d must be non-negative", cfg.Workers)
+	}
+	var workerStreams []*rng.Stream
+	if cfg.Workers > 1 {
+		// Split the worker streams off the run stream up front so their
+		// seeds — and hence the whole run — depend only on (seed, Workers).
+		workerStreams = make([]*rng.Stream, cfg.Workers)
+		for i := range workerStreams {
+			workerStreams[i] = s.Split()
+		}
+	}
 
 	nRumors := len(cfg.Injections)
 	maxRounds := cfg.MaxRounds
@@ -131,7 +149,16 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 			}
 		}
 
-		dates := svc.RunRound(s).Dates
+		var dates []core.Date
+		if len(workerStreams) > 1 {
+			pres, err := svc.RunRoundParallel(workerStreams, len(workerStreams))
+			if err != nil {
+				return MultiRumorResult{}, err
+			}
+			dates = pres.Dates
+		} else {
+			dates = svc.RunRound(s).Dates
+		}
 		// Synchronous semantics: forwarding decisions use start-of-round
 		// knowledge, so collect transfers first and apply afterwards.
 		type transfer struct {

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bandwidth"
@@ -180,5 +181,34 @@ func TestMultiRumorMaxRounds(t *testing.T) {
 	}
 	if res.Completed || res.Rounds > 2 {
 		t.Fatalf("round cap violated: %+v", res.Rounds)
+	}
+}
+
+func TestMultiRumorWorkers(t *testing.T) {
+	// The parallel engine behind multi-rumor rounds: runs are reproducible
+	// for a fixed (seed, Workers), complete, and reject bad worker counts.
+	cfg := MultiRumorConfig{
+		N:          600,
+		Injections: []Injection{{Round: 1, Source: 0}, {Round: 3, Source: 99}},
+		Forwarding: ForwardRoundRobin,
+		Workers:    3,
+	}
+	run := func() MultiRumorResult {
+		res, err := RunMultiRumor(cfg, rng.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("parallel multi-rumor run incomplete")
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two parallel runs with the same (seed, Workers) diverged")
+	}
+	cfg.Workers = -2
+	if _, err := RunMultiRumor(cfg, rng.New(21)); err == nil {
+		t.Error("accepted negative Workers")
 	}
 }

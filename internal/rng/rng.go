@@ -21,6 +21,29 @@ func splitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive deterministically mixes a root seed with a sequence of indices —
+// experiment coordinates such as (overlay, repetition) or a node id — into a
+// new seed, by chaining the SplitMix64 finalizer over the indices in order.
+//
+// The construction absorbs one index per step (state = previous output XOR
+// index, then one SplitMix64 step), so the result depends on the order of
+// the indices and adjacent coordinates yield statistically independent
+// seeds. It is the repository's single scheme for carving independent
+// random streams out of one root seed: the parallel experiment harness
+// seeds repetition (overlay, rep) jobs with Derive(seed, overlay, rep),
+// and the Arranger derives per-node scatter and per-rendezvous match
+// streams the same way, which is what makes its output independent of the
+// worker count.
+func Derive(seed uint64, idx ...uint64) uint64 {
+	state := seed
+	out := splitMix64(&state)
+	for _, v := range idx {
+		state = out ^ v
+		out = splitMix64(&state)
+	}
+	return out
+}
+
 // Source is a deterministic stream of 64-bit values. Implementations are not
 // safe for concurrent use; derive one Source per goroutine.
 type Source interface {

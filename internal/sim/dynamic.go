@@ -43,27 +43,46 @@ func (r DynamicResult) Table() *stats.Table {
 	return t
 }
 
-// RunDynamicDHT spreads one rumor while, at the start of every round, each
-// non-source node is replaced with probability p: its ring position is
-// resampled and it forgets the rumor (a new peer reusing the id).
+// RunDynamicDHT runs E13 serially; see RunDynamicDHTPar.
 func RunDynamicDHT(scale Scale, seed uint64) (DynamicResult, error) {
+	return RunDynamicDHTPar(scale, seed, 1)
+}
+
+// RunDynamicDHTPar spreads one rumor while, at the start of every round,
+// each non-source node is replaced with probability p: its ring position is
+// resampled and it forgets the rumor (a new peer reusing the id). Each
+// repetition is one harness job seeded from (seed, churn-rate index,
+// repetition); repetitions run serially inside their job (Arranger workers
+// stay at 1) because the harness grain already saturates the cores.
+func RunDynamicDHTPar(scale Scale, seed uint64, workers int) (DynamicResult, error) {
 	n, reps, rounds := 512, 8, 120
 	if scale == ScalePaper {
 		n, reps, rounds = 4096, 50, 200
 	}
-	root := rng.New(seed)
+	probs := []float64{0, 0.005, 0.02}
+	outs := make([]churnOutcome, len(probs)*reps)
+	err := forEach(len(outs), workers, func(j int) error {
+		pi, rep := j/reps, j%reps
+		s := rng.New(rng.Derive(seed, domainDynamic, uint64(pi), uint64(rep)))
+		out, err := spreadOverChurningRing(n, probs[pi], rounds, 1, s)
+		if err != nil {
+			return err
+		}
+		if out.roundsTo95 == 0 {
+			return fmt.Errorf("sim: coverage never reached 95%% at p=%v", probs[pi])
+		}
+		outs[j] = out
+		return nil
+	})
+	if err != nil {
+		return DynamicResult{}, err
+	}
+
 	res := DynamicResult{N: n, Rounds: rounds}
-	for _, p := range []float64{0, 0.005, 0.02} {
+	for pi, p := range probs {
 		var to95, steady, replaced stats.Accumulator
 		for rep := 0; rep < reps; rep++ {
-			s := root.Split()
-			out, err := spreadOverChurningRing(n, p, rounds, s)
-			if err != nil {
-				return DynamicResult{}, err
-			}
-			if out.roundsTo95 == 0 {
-				return DynamicResult{}, fmt.Errorf("sim: coverage never reached 95%% at p=%v", p)
-			}
+			out := outs[pi*reps+rep]
 			to95.Add(float64(out.roundsTo95))
 			steady.Add(out.steadyCoverage)
 			replaced.Add(float64(out.replaced))
@@ -84,14 +103,20 @@ type churnOutcome struct {
 }
 
 // spreadOverChurningRing runs one spreading instance for a fixed number of
-// rounds under sustained churn.
-func spreadOverChurningRing(n int, replaceProb float64, rounds int, s *rng.Stream) (churnOutcome, error) {
+// rounds under sustained churn. Dating rounds run on an Arranger with the
+// given worker count; since the Arranger is worker-count independent and
+// each round's seed is a single draw from s, the outcome depends only on s.
+func spreadOverChurningRing(n int, replaceProb float64, rounds, workers int, s *rng.Stream) (churnOutcome, error) {
 	var out churnOutcome
 	ring, err := overlay.NewDynamicRing(n, s)
 	if err != nil {
 		return out, err
 	}
 	sel, err := core.NewDynamicRingSelector(ring)
+	if err != nil {
+		return out, err
+	}
+	arr, err := core.NewArranger(sel)
 	if err != nil {
 		return out, err
 	}
@@ -119,7 +144,7 @@ func spreadOverChurningRing(n int, replaceProb float64, rounds int, s *rng.Strea
 				}
 			}
 		}
-		dates, err := core.ArrangeDates(supply, demand, sel, s)
+		dates, err := arr.Arrange(supply, demand, s.Uint64(), workers)
 		if err != nil {
 			return out, err
 		}

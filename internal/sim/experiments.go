@@ -480,26 +480,40 @@ func (r StorageResult) Table() *stats.Table {
 	return t
 }
 
-// RunStorage replicates every node's objects over the dating service and
-// reports convergence time and final load balance.
+// RunStorage runs E10 serially; see RunStoragePar.
 func RunStorage(scale Scale, seed uint64) (StorageResult, error) {
+	return RunStoragePar(scale, seed, 1)
+}
+
+// RunStoragePar replicates every node's objects over the dating service and
+// reports convergence time and final load balance. Each repetition is one
+// harness job seeded from (seed, repetition).
+func RunStoragePar(scale Scale, seed uint64, workers int) (StorageResult, error) {
 	n, reps := 100, 10
 	if scale == ScalePaper {
 		n, reps = 1000, 50
 	}
-	root := rng.New(seed)
-	var rounds, maxOcc, minOcc, wasted stats.Accumulator
-	for rep := 0; rep < reps; rep++ {
-		s := root.Split()
+	results := make([]storage.Result, reps)
+	err := forEach(reps, workers, func(rep int) error {
+		s := rng.New(rng.Derive(seed, domainStorage, uint64(rep)))
 		r, err := storage.Run(storage.Config{
 			N: n, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 12, RoundCap: 2,
 		}, s)
 		if err != nil {
-			return StorageResult{}, err
+			return err
 		}
 		if !r.Completed {
-			return StorageResult{}, fmt.Errorf("sim: storage run incomplete")
+			return fmt.Errorf("sim: storage run incomplete")
 		}
+		results[rep] = r
+		return nil
+	})
+	if err != nil {
+		return StorageResult{}, err
+	}
+
+	var rounds, maxOcc, minOcc, wasted stats.Accumulator
+	for _, r := range results {
 		rounds.Add(float64(r.Rounds))
 		maxOcc.Add(float64(r.MaxOccupancy))
 		minOcc.Add(float64(r.MinOccupancy))

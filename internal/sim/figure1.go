@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
@@ -45,61 +46,114 @@ func (r Figure1Result) Table() *stats.Table {
 	return t
 }
 
-// RunFigure1 reproduces Figure 1: n nodes generate n requests of each type
-// (unit bandwidths); the uniform rows average over many rounds, and the DHT
-// rows generate a population of overlays and report the worst and best
-// per-overlay averages, the paper's methodology ("we took only one DHT out
-// of 200 generated — the one that showed the worst average").
+// RunFigure1 reproduces Figure 1 serially; see RunFigure1Par.
 func RunFigure1(scale Scale, seed uint64) (Figure1Result, error) {
+	return RunFigure1Par(scale, seed, 1)
+}
+
+// RunFigure1Par reproduces Figure 1: n nodes generate n requests of each
+// type (unit bandwidths); the uniform rows average over many rounds, and
+// the DHT rows generate a population of overlays and report the worst and
+// best per-overlay averages, the paper's methodology ("we took only one DHT
+// out of 200 generated — the one that showed the worst average").
+//
+// Each (n, overlay) cell — and each uniform row — is one harness job with
+// its own Service and a stream derived from (seed, n index, overlay index),
+// fanned across workers goroutines. The result is byte-identical for every
+// worker count.
+func RunFigure1Par(scale Scale, seed uint64, workers int) (Figure1Result, error) {
 	ns, roundsFor, dhtCount := figure1Sizes(scale)
-	root := rng.New(seed)
-	var res Figure1Result
-	for _, n := range ns {
-		rounds := roundsFor(n)
-		profile := bandwidth.Homogeneous(n, 1)
-
-		// Uniform selection.
-		uniSel, err := core.NewUniformSelector(n)
-		if err != nil {
-			return Figure1Result{}, err
-		}
-		svc, err := core.NewService(profile, uniSel)
-		if err != nil {
-			return Figure1Result{}, err
-		}
-		s := root.Split()
-		var uni stats.Accumulator
-		for r := 0; r < rounds; r++ {
-			uni.Add(svc.RunRound(s).Fraction(n))
-		}
-
-		// DHT-interval selection over a population of overlays. Per-overlay
-		// round budgets shrink so total work stays proportional.
-		perDHT := rounds / dhtCount
+	perN := dhtCount + 1 // slot 0 of each n is the uniform row, then one slot per overlay
+	perDHTFor := func(n int) int {
+		perDHT := roundsFor(n) / dhtCount
 		if perDHT < 20 {
 			perDHT = 20
 		}
+		return perDHT
+	}
+
+	// Job costs are wildly skewed (a uniform-row job runs ~dhtCount times
+	// the rounds of one overlay job, and n spans four orders of magnitude),
+	// so schedule the largest jobs first: workers steal in list order, and
+	// a big job started last would otherwise bound the sweep's wall clock.
+	// Scheduling only reorders the stealing — every job writes its own slot
+	// and aggregation below reads slots in fixed order, so the table stays
+	// byte-identical.
+	type job struct{ ni, k, cost int }
+	jobs := make([]job, 0, len(ns)*perN)
+	for ni, n := range ns {
+		jobs = append(jobs, job{ni, 0, roundsFor(n) * n})
+		for k := 1; k < perN; k++ {
+			jobs = append(jobs, job{ni, k, perDHTFor(n) * n})
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
+
+	accs := make([]stats.Accumulator, len(ns)*perN)
+	err := forEach(len(jobs), workers, func(j int) error {
+		ni, k := jobs[j].ni, jobs[j].k
+		slot := ni*perN + k
+		n := ns[ni]
+		rounds := roundsFor(n)
+		profile := bandwidth.Homogeneous(n, 1)
+
+		if k == 0 {
+			// Uniform selection.
+			uniSel, err := core.NewUniformSelector(n)
+			if err != nil {
+				return err
+			}
+			svc, err := core.NewService(profile, uniSel)
+			if err != nil {
+				return err
+			}
+			s := rng.New(rng.Derive(seed, domainFigure1Uniform, uint64(ni)))
+			var uni stats.Accumulator
+			for r := 0; r < rounds; r++ {
+				uni.Add(svc.RunRound(s).Fraction(n))
+			}
+			accs[slot] = uni
+			return nil
+		}
+
+		// DHT-interval selection, one overlay of the population. Per-overlay
+		// round budgets shrink so total work stays proportional.
+		perDHT := perDHTFor(n)
+		d := uint64(k - 1)
+		ring, err := overlay.NewRing(n, rng.New(rng.Derive(seed, domainFigure1Ring, uint64(ni), d)))
+		if err != nil {
+			return err
+		}
+		ringSel, err := core.NewRingSelector(ring)
+		if err != nil {
+			return err
+		}
+		dsvc, err := core.NewService(profile, ringSel)
+		if err != nil {
+			return err
+		}
+		ds := rng.New(rng.Derive(seed, domainFigure1Rounds, uint64(ni), d))
+		var acc stats.Accumulator
+		for r := 0; r < perDHT; r++ {
+			acc.Add(dsvc.RunRound(ds).Fraction(n))
+		}
+		accs[slot] = acc
+		return nil
+	})
+	if err != nil {
+		return Figure1Result{}, err
+	}
+
+	// Aggregate in job order: the worst/best scan visits overlays in overlay
+	// index order, exactly as the serial loop did.
+	var res Figure1Result
+	for ni, n := range ns {
+		uni := accs[ni*perN]
 		worst := stats.Accumulator{}
 		var worstMean = 2.0
 		var bestMean = -1.0
 		for d := 0; d < dhtCount; d++ {
-			ring, err := overlay.NewRing(n, root.Split())
-			if err != nil {
-				return Figure1Result{}, err
-			}
-			ringSel, err := core.NewRingSelector(ring)
-			if err != nil {
-				return Figure1Result{}, err
-			}
-			dsvc, err := core.NewService(profile, ringSel)
-			if err != nil {
-				return Figure1Result{}, err
-			}
-			ds := root.Split()
-			var acc stats.Accumulator
-			for r := 0; r < perDHT; r++ {
-				acc.Add(dsvc.RunRound(ds).Fraction(n))
-			}
+			acc := accs[ni*perN+1+d]
 			if acc.Mean() < worstMean {
 				worstMean = acc.Mean()
 				worst = acc
@@ -108,7 +162,6 @@ func RunFigure1(scale Scale, seed uint64) (Figure1Result, error) {
 				bestMean = acc.Mean()
 			}
 		}
-
 		res.Rows = append(res.Rows, Figure1Row{
 			N:           n,
 			UniformMean: uni.Mean(),

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gossip"
 	"repro/internal/rng"
@@ -44,28 +45,70 @@ func (r Figure2Result) Table() *stats.Table {
 	return t
 }
 
-// RunFigure2 reproduces Figure 2: for each network size, run every
+// RunFigure2 reproduces Figure 2 serially; see RunFigure2Par.
+func RunFigure2(scale Scale, seed uint64) (Figure2Result, error) {
+	return RunFigure2Par(scale, seed, 1)
+}
+
+// RunFigure2Par reproduces Figure 2: for each network size, run every
 // algorithm repeatedly from a fresh source and report mean and standard
 // deviation of the number of rounds until all nodes are informed.
-func RunFigure2(scale Scale, seed uint64) (Figure2Result, error) {
+//
+// Every single repetition is one harness job — one spreading run with its
+// own Service, seeded from (seed, n index, algorithm index, repetition
+// index) — so the sweep saturates workers goroutines even for a single
+// (n, algorithm) cell. The result is byte-identical for every worker count.
+func RunFigure2Par(scale Scale, seed uint64, workers int) (Figure2Result, error) {
 	ns, repsFor := figure2Sizes(scale)
-	root := rng.New(seed)
+	algos := gossip.Algorithms()
+	type coord struct{ ni, ai, rep, slot int }
+	var coords []coord
+	slot := 0
+	for ni := range ns {
+		reps := repsFor(ns[ni])
+		for ai := range algos {
+			for rep := 0; rep < reps; rep++ {
+				coords = append(coords, coord{ni, ai, rep, slot})
+				slot++
+			}
+		}
+	}
+	// Largest networks first: a job's cost is dominated by n (four orders
+	// of magnitude across the sweep), and workers steal in list order —
+	// an expensive job started last would bound the wall clock. Each job
+	// writes its precomputed slot and aggregation reads slots in fixed
+	// order, so the table is unaffected by the schedule.
+	sort.SliceStable(coords, func(i, j int) bool { return ns[coords[i].ni] > ns[coords[j].ni] })
+	rounds := make([]float64, len(coords))
+	err := forEach(len(coords), workers, func(j int) error {
+		c := coords[j]
+		n := ns[c.ni]
+		s := rng.New(rng.Derive(seed, domainFigure2, uint64(c.ni), uint64(c.ai), uint64(c.rep)))
+		r, err := gossip.Run(gossip.Config{Algorithm: algos[c.ai], N: n, Source: 0}, s)
+		if err != nil {
+			return err
+		}
+		if !r.Completed {
+			return fmt.Errorf("sim: %v at n=%d did not complete", algos[c.ai], n)
+		}
+		rounds[c.slot] = float64(r.Rounds)
+		return nil
+	})
+	if err != nil {
+		return Figure2Result{}, err
+	}
+
+	// Aggregate in coordinate order; coords list cells contiguously.
 	var res Figure2Result
+	idx := 0
 	for _, n := range ns {
 		reps := repsFor(n)
 		row := Figure2Row{N: n, Cells: map[gossip.Algorithm]Figure2Cell{}}
-		for _, a := range gossip.Algorithms() {
-			s := root.Split()
+		for _, a := range algos {
 			var acc stats.Accumulator
 			for rep := 0; rep < reps; rep++ {
-				r, err := gossip.Run(gossip.Config{Algorithm: a, N: n, Source: 0}, s)
-				if err != nil {
-					return Figure2Result{}, err
-				}
-				if !r.Completed {
-					return Figure2Result{}, fmt.Errorf("sim: %v at n=%d did not complete", a, n)
-				}
-				acc.Add(float64(r.Rounds))
+				acc.Add(rounds[idx])
+				idx++
 			}
 			row.Cells[a] = Figure2Cell{Mean: acc.Mean(), Std: acc.Std()}
 		}

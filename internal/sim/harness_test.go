@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// tableHash fingerprints a rendered table for the golden pins below.
+func tableHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Golden fingerprints of the quick-scale figure tables at seed 42. They pin
+// the published numbers down to the byte: any change to the seed-derivation
+// scheme, the round engine, or the aggregation order fails loudly here
+// instead of silently shifting results. Regenerate by running the test and
+// copying the hashes it prints on failure.
+const (
+	goldenFigure1Quick = 0x72e269d28fe03812
+	goldenFigure2Quick = 0x34c8a1700b7fe26c
+)
+
+func TestFigure1WorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs figure 1 at three worker counts")
+	}
+	// Harness parallelism can never change published numbers: the rendered
+	// table must be byte-identical for workers 1, 2 and 8. The invariant is
+	// scale-independent — job seeds are derived from (seed, n, overlay)
+	// with no reference to the worker count — so verifying it at quick
+	// scale locks the mechanism for the paper scale too.
+	base, err := RunFigure1Par(ScaleQuick, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := base.Table().Render()
+	if h := tableHash(rendered); h != goldenFigure1Quick {
+		t.Errorf("figure 1 golden drifted: got %#x, pinned %#x\n%s", h, uint64(goldenFigure1Quick), rendered)
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := RunFigure1Par(ScaleQuick, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("workers=%d: result differs from serial", workers)
+		}
+		if out := res.Table().Render(); out != rendered {
+			t.Fatalf("workers=%d: rendered table differs from serial:\n%s\nvs\n%s", workers, out, rendered)
+		}
+	}
+}
+
+func TestFigure2WorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs figure 2 at three worker counts")
+	}
+	base, err := RunFigure2Par(ScaleQuick, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := base.Table().Render()
+	if h := tableHash(rendered); h != goldenFigure2Quick {
+		t.Errorf("figure 2 golden drifted: got %#x, pinned %#x\n%s", h, uint64(goldenFigure2Quick), rendered)
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := RunFigure2Par(ScaleQuick, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("workers=%d: result differs from serial", workers)
+		}
+		if out := res.Table().Render(); out != rendered {
+			t.Fatalf("workers=%d: rendered table differs from serial", workers)
+		}
+	}
+}
+
+func TestSweepsWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four sweeps at two worker counts")
+	}
+	// The remaining repetition-parallel sweeps: serial and workers=4 must
+	// agree exactly, through the registry's table rendering.
+	for _, tc := range []struct {
+		name string
+		run  func(Scale, uint64, int) (string, error)
+	}{
+		{"multirumor", func(sc Scale, seed uint64, w int) (string, error) {
+			r, err := RunMultiRumorExperimentPar(sc, seed, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Table().Render(), nil
+		}},
+		{"loads", func(sc Scale, seed uint64, w int) (string, error) {
+			r, err := RunLoadViolationPar(sc, seed, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Table().Render(), nil
+		}},
+		{"dynamicdht", func(sc Scale, seed uint64, w int) (string, error) {
+			r, err := RunDynamicDHTPar(sc, seed, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Table().Render(), nil
+		}},
+		{"storage", func(sc Scale, seed uint64, w int) (string, error) {
+			r, err := RunStoragePar(sc, seed, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Table().Render(), nil
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := tc.run(ScaleQuick, 9, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := tc.run(ScaleQuick, 9, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != par {
+				t.Fatalf("workers=4 table differs from serial:\n%s\nvs\n%s", par, serial)
+			}
+		})
+	}
+}
+
+func TestHarnessOverlappingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress-runs two concurrent harness sweeps")
+	}
+	// Two full harness sweeps running concurrently in one process, each
+	// fanning jobs across its own worker pool: per-job Services must never
+	// share state (the race detector enforces isolation; equality enforces
+	// determinism under contention).
+	const concurrent = 3
+	results := make([]MultiRumorSimResult, concurrent)
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for g := 0; g < concurrent; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = RunMultiRumorExperimentPar(ScaleQuick, 5, 4)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < concurrent; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("concurrent sweep %d diverged from sweep 0", g)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	// Completeness: every job index runs exactly once at any worker count.
+	for _, workers := range []int{1, 3, 16} {
+		const jobs = 100
+		hits := make([]int, jobs)
+		if err := forEach(jobs, workers, func(j int) error {
+			hits[j]++ // distinct slots: no lock needed
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, j, h)
+			}
+		}
+	}
+	// Determinism of failure: the reported error is the lowest-index one,
+	// and later jobs still ran (no early abort reordering results).
+	err := forEach(10, 4, func(j int) error {
+		if j == 7 || j == 3 {
+			return fmt.Errorf("job %d failed", j)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 3 failed" {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+	if err := forEach(5, 0, func(int) error { return nil }); err == nil {
+		t.Error("accepted workers = 0")
+	}
+	if err := forEach(0, 4, func(int) error { return fmt.Errorf("ran") }); err != nil {
+		t.Errorf("zero jobs: %v", err)
+	}
+}

@@ -38,30 +38,48 @@ func (r LoadResult) Table() *stats.Table {
 	return t
 }
 
-// RunLoadViolation measures the bandwidth honesty of every algorithm: the
-// dating service must stay at 1/1; the unfair baselines overdrive nodes by
-// Theta(log n / log log n) (balls-into-bins maxima).
+// RunLoadViolation runs E12 serially; see RunLoadViolationPar.
 func RunLoadViolation(scale Scale, seed uint64) (LoadResult, error) {
+	return RunLoadViolationPar(scale, seed, 1)
+}
+
+// RunLoadViolationPar measures the bandwidth honesty of every algorithm:
+// the dating service must stay at 1/1; the unfair baselines overdrive nodes
+// by Theta(log n / log log n) (balls-into-bins maxima). Each repetition is
+// one harness job seeded from (seed, algorithm index, repetition).
+func RunLoadViolationPar(scale Scale, seed uint64, workers int) (LoadResult, error) {
 	n, reps := 2048, 10
 	if scale == ScalePaper {
 		n, reps = 16384, 100
 	}
-	root := rng.New(seed)
+	algos := gossip.Algorithms()
+	type outcome struct{ in, out, rounds float64 }
+	outs := make([]outcome, len(algos)*reps)
+	err := forEach(len(outs), workers, func(j int) error {
+		ai, rep := j/reps, j%reps
+		s := rng.New(rng.Derive(seed, domainLoads, uint64(ai), uint64(rep)))
+		r, err := gossip.Run(gossip.Config{Algorithm: algos[ai], N: n, Source: 0}, s)
+		if err != nil {
+			return err
+		}
+		if !r.Completed {
+			return fmt.Errorf("sim: %v incomplete in load experiment", algos[ai])
+		}
+		outs[j] = outcome{in: float64(r.MaxInLoad), out: float64(r.MaxOutLoad), rounds: float64(r.Rounds)}
+		return nil
+	})
+	if err != nil {
+		return LoadResult{}, err
+	}
+
 	res := LoadResult{N: n}
-	for _, a := range gossip.Algorithms() {
+	for ai, a := range algos {
 		var inL, outL, rounds stats.Accumulator
 		for rep := 0; rep < reps; rep++ {
-			s := root.Split()
-			r, err := gossip.Run(gossip.Config{Algorithm: a, N: n, Source: 0}, s)
-			if err != nil {
-				return LoadResult{}, err
-			}
-			if !r.Completed {
-				return LoadResult{}, fmt.Errorf("sim: %v incomplete in load experiment", a)
-			}
-			inL.Add(float64(r.MaxInLoad))
-			outL.Add(float64(r.MaxOutLoad))
-			rounds.Add(float64(r.Rounds))
+			o := outs[ai*reps+rep]
+			inL.Add(o.in)
+			outL.Add(o.out)
+			rounds.Add(o.rounds)
 		}
 		res.Rows = append(res.Rows, LoadRow{
 			Algorithm:  a,

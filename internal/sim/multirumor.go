@@ -38,41 +38,59 @@ func (r MultiRumorSimResult) Table() *stats.Table {
 	return t
 }
 
-// RunMultiRumorExperiment injects R rumors two rounds apart on distinct
-// sources and measures completion, for R in {1, 2, 4, 8}.
+// RunMultiRumorExperiment runs E11 serially; see RunMultiRumorExperimentPar.
 func RunMultiRumorExperiment(scale Scale, seed uint64) (MultiRumorSimResult, error) {
+	return RunMultiRumorExperimentPar(scale, seed, 1)
+}
+
+// RunMultiRumorExperimentPar injects R rumors two rounds apart on distinct
+// sources and measures completion, for R in {1, 2, 4, 8}. Each repetition
+// is one harness job seeded from (seed, rumor-count index, repetition).
+func RunMultiRumorExperimentPar(scale Scale, seed uint64, workers int) (MultiRumorSimResult, error) {
 	n, reps := 512, 8
 	if scale == ScalePaper {
 		n, reps = 4096, 50
 	}
-	root := rng.New(seed)
+	rumorCounts := []int{1, 2, 4, 8}
+	type outcome struct{ rounds, perRumor float64 }
+	outs := make([]outcome, len(rumorCounts)*reps)
+	err := forEach(len(outs), workers, func(j int) error {
+		ri, rep := j/reps, j%reps
+		rumors := rumorCounts[ri]
+		injections := make([]gossip.Injection, rumors)
+		for r := range injections {
+			injections[r] = gossip.Injection{Round: 1 + 2*r, Source: (r * 37) % n}
+		}
+		s := rng.New(rng.Derive(seed, domainMultiRumor, uint64(ri), uint64(rep)))
+		mr, err := gossip.RunMultiRumor(gossip.MultiRumorConfig{
+			N:          n,
+			Injections: injections,
+			Forwarding: gossip.ForwardRandom,
+		}, s)
+		if err != nil {
+			return err
+		}
+		if !mr.Completed {
+			return fmt.Errorf("sim: multi-rumor run incomplete (R=%d)", rumors)
+		}
+		var sum float64
+		for _, d := range mr.PerRumorDone {
+			sum += float64(d)
+		}
+		outs[j] = outcome{rounds: float64(mr.Rounds), perRumor: sum / float64(rumors)}
+		return nil
+	})
+	if err != nil {
+		return MultiRumorSimResult{}, err
+	}
+
 	var res MultiRumorSimResult
 	res.N = n
-	for _, rumors := range []int{1, 2, 4, 8} {
+	for ri, rumors := range rumorCounts {
 		var rounds, per stats.Accumulator
 		for rep := 0; rep < reps; rep++ {
-			injections := make([]gossip.Injection, rumors)
-			for r := range injections {
-				injections[r] = gossip.Injection{Round: 1 + 2*r, Source: (r * 37) % n}
-			}
-			s := root.Split()
-			mr, err := gossip.RunMultiRumor(gossip.MultiRumorConfig{
-				N:          n,
-				Injections: injections,
-				Forwarding: gossip.ForwardRandom,
-			}, s)
-			if err != nil {
-				return MultiRumorSimResult{}, err
-			}
-			if !mr.Completed {
-				return MultiRumorSimResult{}, fmt.Errorf("sim: multi-rumor run incomplete (R=%d)", rumors)
-			}
-			rounds.Add(float64(mr.Rounds))
-			var sum float64
-			for _, d := range mr.PerRumorDone {
-				sum += float64(d)
-			}
-			per.Add(sum / float64(rumors))
+			rounds.Add(outs[ri*reps+rep].rounds)
+			per.Add(outs[ri*reps+rep].perRumor)
 		}
 		if rumors == 1 {
 			res.SingleRounds = rounds.Mean()

@@ -1,0 +1,86 @@
+package sim
+
+// Harness-level parallelism.
+//
+// The paper's headline experiments — the Figure 1 arranged-fraction sweep
+// and the Figure 2 rounds-to-spread comparison — are embarrassingly
+// parallel per repetition: every (overlay, repetition) cell is an
+// independent simulation. The harness exploits exactly that grain. Each
+// job owns a private Service/Arranger (one Service per goroutine; a
+// Service reuses scratch and must never run concurrently) and a private
+// stream seeded
+//
+//	rng.Derive(rootSeed, domainTag, coordinates...)
+//
+// where the coordinates are the job's position in the sweep (n index,
+// overlay index, repetition index, ...). A job's numbers therefore depend
+// only on its coordinates, never on the worker count or the goroutine
+// schedule. Jobs write into caller-indexed result slots and all
+// aggregation happens after the barrier, in job-index order, so the
+// floating-point reduction order is fixed too: published tables are
+// byte-identical for every worker count. The golden tests in
+// harness_test.go pin that invariant down.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Seed-derivation domain tags, one per experiment surface, keeping job
+// streams disjoint across experiments that share a root seed.
+const (
+	domainFigure1Uniform uint64 = 0x11
+	domainFigure1Ring    uint64 = 0x12
+	domainFigure1Rounds  uint64 = 0x13
+	domainFigure2        uint64 = 0x21
+	domainMultiRumor     uint64 = 0x31
+	domainLoads          uint64 = 0x41
+	domainDynamic        uint64 = 0x51
+	domainStorage        uint64 = 0x61
+)
+
+// forEach runs jobs 0..jobs-1 across at most workers goroutines, work-
+// stealing from a shared counter. Each job must write only to its own
+// result slot. All jobs run even when one fails; the error reported is the
+// one with the lowest job index, so failures are as deterministic as
+// results.
+func forEach(jobs, workers int, run func(job int) error) error {
+	if workers < 1 {
+		return fmt.Errorf("sim: harness needs workers >= 1, got %d", workers)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for j := 0; j < jobs; j++ {
+			if err := run(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				errs[j] = run(j)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,12 +8,19 @@ type Experiment struct {
 	Name string
 	// About is a one-line description shown in help output.
 	About string
-	Run   func(Scale, uint64) (*stats.Table, error)
+	// Run regenerates the experiment at a scale and root seed, fanning
+	// repetitions across workers goroutines where the experiment supports
+	// harness parallelism (see parallel.go); results are byte-identical
+	// for every worker count. Experiments without repetition parallelism
+	// (and the engine benchmark, which manages its own workers) accept the
+	// knob and run serially.
+	Run func(scale Scale, seed uint64, workers int) (*stats.Table, error)
 }
 
-func tabler[T interface{ Table() *stats.Table }](f func(Scale, uint64) (T, error)) func(Scale, uint64) (*stats.Table, error) {
-	return func(sc Scale, seed uint64) (*stats.Table, error) {
-		res, err := f(sc, seed)
+// parTabler adapts a workers-aware experiment to the registry signature.
+func parTabler[T interface{ Table() *stats.Table }](f func(Scale, uint64, int) (T, error)) func(Scale, uint64, int) (*stats.Table, error) {
+	return func(sc Scale, seed uint64, workers int) (*stats.Table, error) {
+		res, err := f(sc, seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -21,13 +28,19 @@ func tabler[T interface{ Table() *stats.Table }](f func(Scale, uint64) (T, error
 	}
 }
 
+// tabler adapts a serial experiment; the workers knob is accepted and
+// ignored.
+func tabler[T interface{ Table() *stats.Table }](f func(Scale, uint64) (T, error)) func(Scale, uint64, int) (*stats.Table, error) {
+	return parTabler(func(sc Scale, seed uint64, _ int) (T, error) { return f(sc, seed) })
+}
+
 // Registry lists every experiment in DESIGN.md's per-experiment index, in
 // presentation order, plus the round-engine throughput benchmark (not part
 // of the paper's evaluation, but sharing the same driver interface).
 func Registry() []Experiment {
 	return []Experiment{
-		{"figure1", "fraction of dates arranged (uniform vs DHT)", tabler(RunFigure1)},
-		{"figure2", "rounds to spread a rumor, all algorithms", tabler(RunFigure2)},
+		{"figure1", "fraction of dates arranged (uniform vs DHT)", parTabler(RunFigure1Par)},
+		{"figure2", "rounds to spread a rumor, all algorithms", parTabler(RunFigure2Par)},
 		{"alpha", "E3: arranged fraction vs per-node load", tabler(RunAlphaVsLoad)},
 		{"ablation", "E4: arranged fraction by selection distribution", tabler(RunDistributionAblation)},
 		{"phases", "E5: Theorem 4 phase structure", tabler(RunPhases)},
@@ -35,10 +48,10 @@ func Registry() []Experiment {
 		{"pipelining", "E7: pipelined dating over a DHT", tabler(RunPipelining)},
 		{"mongering", "E8: network-coded multi-block broadcast", tabler(RunMongering)},
 		{"churn", "E9: spreading under crashes", tabler(RunChurn)},
-		{"storage", "E10: replicated storage block exchanges", tabler(RunStorage)},
-		{"multirumor", "E11: concurrent rumors share the dates", tabler(RunMultiRumorExperiment)},
-		{"loads", "E12: worst per-node loads (bandwidth honesty)", tabler(RunLoadViolation)},
-		{"dynamicdht", "E13: spreading over a churning DHT", tabler(RunDynamicDHT)},
+		{"storage", "E10: replicated storage block exchanges", parTabler(RunStoragePar)},
+		{"multirumor", "E11: concurrent rumors share the dates", parTabler(RunMultiRumorExperimentPar)},
+		{"loads", "E12: worst per-node loads (bandwidth honesty)", parTabler(RunLoadViolationPar)},
+		{"dynamicdht", "E13: spreading over a churning DHT", parTabler(RunDynamicDHTPar)},
 		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
 	}
 }

@@ -30,6 +30,11 @@ type Config struct {
 	// Selector defaults to uniform; any common distribution works.
 	Selector  core.Selector
 	MaxRounds int
+	// Workers, if greater than 1, arranges every round on that many worker
+	// goroutines. The result is bit-for-bit identical for every worker
+	// count (the Arranger derives its randomness per node and per
+	// rendezvous, not per worker), so this is purely a speed knob.
+	Workers int
 }
 
 // Result reports a replication run.
@@ -62,6 +67,9 @@ func (c *Config) validate() error {
 	if c.RoundCap < 0 {
 		return fmt.Errorf("storage: negative round cap")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("storage: negative workers")
+	}
 	return nil
 }
 
@@ -85,6 +93,14 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 	cap := cfg.RoundCap
 	if cap == 0 {
 		cap = 1
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	arr, err := core.NewArranger(sel)
+	if err != nil {
+		return Result{}, err
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -115,7 +131,9 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 			out[i] = min(outstanding[i], cap)
 			in[i] = min(cfg.SlotsPerNode-occupancy[i], cap)
 		}
-		dates, err := core.ArrangeDates(out, in, sel, s)
+		// One draw from s seeds the whole round, so the run consumes the
+		// same stream positions at every worker count.
+		dates, err := arr.Arrange(out, in, s.Uint64(), workers)
 		if err != nil {
 			return Result{}, err
 		}

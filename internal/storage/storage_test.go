@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -180,5 +181,33 @@ func TestWeightedSelectorWorks(t *testing.T) {
 	}
 	if !res.Completed {
 		t.Fatalf("skewed-selector replication incomplete after %d rounds", res.Rounds)
+	}
+}
+
+func TestWorkersBitIdenticalRuns(t *testing.T) {
+	// The Workers knob is purely a speed knob: for a fixed seed the whole
+	// run — rounds, history, transfers, occupancy — must be bit-identical
+	// at every worker count.
+	cfg := Config{N: 60, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 10, RoundCap: 2}
+	base, err := Run(cfg, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Completed {
+		t.Fatal("baseline run incomplete")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		got, err := Run(cfg, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: run diverged from serial baseline:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+	cfg.Workers = -1
+	if _, err := Run(cfg, rng.New(77)); err == nil {
+		t.Error("accepted negative workers")
 	}
 }

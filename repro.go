@@ -57,6 +57,10 @@ type (
 	// StorageResult reports a replication run.
 	StorageResult = storage.Result
 
+	// Arranger matches supply and demand vectors round after round with
+	// reusable scratch; its output is independent of its worker count.
+	Arranger = core.Arranger
+
 	// LiveConfig parameterizes fully message-level spreading on the
 	// goroutine-per-peer engine.
 	LiveConfig = gossip.LiveConfig
@@ -153,10 +157,24 @@ func RunParallelRound(svc *DatingService, seed uint64, workers int) (RoundResult
 
 // ArrangeDates runs a single dating round directly from per-node supply and
 // demand vectors (the abstract resource-matching interface of the paper's
-// introduction; zeros are allowed).
+// introduction; zeros are allowed). It is the one-shot form of Arranger;
+// protocols that arrange every round should hold an Arranger instead.
 func ArrangeDates(out, in []int, sel Selector, s *Stream) ([]Date, error) {
 	return core.ArrangeDates(out, in, sel, s)
 }
+
+// NewArranger builds a reusable supply/demand matcher over a selection
+// distribution. Arrange(out, in, seed, workers) draws its randomness from
+// per-node and per-rendezvous streams derived from seed with SplitMix64,
+// so the arranged dates are bit-for-bit identical for every workers count —
+// parallelism is purely a speed knob:
+//
+//	arr, _ := repro.NewArranger(sel)
+//	for round := 0; round < rounds; round++ {
+//		dates, _ := arr.Arrange(supply, demand, s.Uint64(), 8)
+//		...
+//	}
+func NewArranger(sel Selector) (*Arranger, error) { return core.NewArranger(sel) }
 
 // SpreadRumor runs one rumor-spreading simulation.
 func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {

@@ -119,3 +119,33 @@ func TestNewStreamsFacade(t *testing.T) {
 		t.Fatal("streams not independent")
 	}
 }
+
+func TestArrangerFacade(t *testing.T) {
+	sel, _ := repro.Uniform(100)
+	arr, err := repro.NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply := make([]int, 100)
+	demand := make([]int, 100)
+	for i := range supply {
+		supply[i] = 1
+		demand[i] = 1
+	}
+	serial, err := arr.Arrange(supply, demand, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := arr.Arrange(supply, demand, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("serial %d dates, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("date %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
