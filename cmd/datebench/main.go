@@ -1,11 +1,12 @@
 // Command datebench regenerates Figure 1 of the paper — the fraction of the
 // centralized optimum the dating service arranges per round — and profiles
-// the round engine itself, serial versus parallel.
+// the round engine and the live message runtime.
 //
 // Usage:
 //
-//	datebench [-mode figure1|engine] [-scale quick|paper] [-seed N] [-par N]
-//	          [-workers N] [-n N] [-rounds N] [-csv] [-json]
+//	datebench [-mode figure1|engine|live] [-scale quick|paper] [-seed N]
+//	          [-par N] [-workers N] [-n N] [-rounds N] [-shards N]
+//	          [-baseline] [-csv] [-json]
 //
 // figure1 mode (the default) reproduces the paper's Figure 1. The paper
 // scale runs n up to 100000 with 10^3–10^4 rounds per point and 200 DHT
@@ -21,6 +22,18 @@
 // trajectory points (BENCH_*.json) can be recorded across versions:
 //
 //	datebench -mode engine -n 1000000 -rounds 5 -workers 8 -json > BENCH_engine.json
+//
+// live mode runs full message-level rumor spreading (every offer, answer
+// and payload an actual routed message) to completion on the sharded
+// internal/live runtime at 1 and -shards workers, plus — with -baseline,
+// the default — the legacy goroutine-per-peer engine. All runs derive
+// per-peer randomness identically, so their informed-count trajectories
+// must agree bit for bit; datebench exits non-zero if they do not, which
+// makes every benchmark run a cross-engine correctness check (CI runs it
+// at n=100k). -n defaults to 100000 in this mode; disable -baseline before
+// raising n far beyond that, goroutine-per-peer does not scale.
+//
+//	datebench -mode live -n 100000 -shards 2 -json > BENCH_live.json
 package main
 
 import (
@@ -34,13 +47,15 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "figure1", "what to run: figure1 or engine")
+	mode := flag.String("mode", "figure1", "what to run: figure1, engine or live")
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper (figure1 mode)")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers (figure1 mode; results identical for any value)")
 	workers := flag.Int("workers", 4, "max parallel workers (engine mode)")
-	n := flag.Int("n", 1_000_000, "node count (engine mode)")
+	n := flag.Int("n", 1_000_000, "node count (engine mode; live mode defaults to 100000)")
 	rounds := flag.Int("rounds", 5, "timed rounds per worker count (engine mode)")
+	shards := flag.Int("shards", 4, "sharded runtime workers (live mode; any value is bit-identical)")
+	baseline := flag.Bool("baseline", true, "include the goroutine-per-peer engine (live mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
 	flag.Parse()
@@ -91,8 +106,37 @@ func main() {
 			fmt.Print(res.Table().Render())
 		}
 
+	case "live":
+		liveN := *n
+		nSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		if !nSet {
+			liveN = 100_000
+		}
+		res, err := sim.RunLiveBench(liveN, *shards, *baseline, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *jsonOut:
+			emitJSON("live", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+		}
+		if !res.Identical {
+			fmt.Fprintln(os.Stderr, "datebench: engines disagree on the spreading trajectory — determinism regression")
+			os.Exit(1)
+		}
+
 	default:
-		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1 or engine)\n", *mode)
+		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine or live)\n", *mode)
 		os.Exit(2)
 	}
 }

@@ -71,6 +71,43 @@
 // purely a speed knob. StorageConfig.Workers and the churning-DHT
 // experiment ride on this.
 //
+// The same derivation scheme is ported to the profile round path as
+// DatingService.RunRoundSeeded(seed, workers), which arranges exactly the
+// dates of Arranger.Arrange(profile.Out, profile.In, seed, ·) and makes
+// RumorConfig.Workers a pure speed knob as well: a spreading run is
+// bit-identical for every Workers >= 1. The reseeding (a Derive chain plus
+// a SplitMix64 state expansion per node and per non-empty rendezvous,
+// about six extra SplitMix64 steps per node per round) costs about 25% of
+// a serial unit-bandwidth round at n=100k — measured by
+// BenchmarkSeededRound in internal/core.
+//
+// # The sharded live-message runtime
+//
+// SpreadRumorLive executes the dating handshake as a real message
+// protocol: every offer, answer and payload is an individually routed
+// message and each peer's only state is its rumor bit. Two substrates run
+// the same step code. LiveGoroutine is the demonstrational engine — one
+// goroutine per peer, barrier-synchronized rounds. LiveSharded is the
+// production-scale runtime (internal/live): a fixed pool of shard workers
+// owning contiguous peer ranges, messages counting-sorted between rounds
+// through flat reusable buffers, per-peer streams seeded
+// SplitMix64(seed, peerDomain, peer). Runs are bit-identical for every
+// shard count, and — because both substrates share the per-peer stream
+// derivation — across engines too. A 10^6-peer spread completes in tens of
+// seconds (examples/livescale); at n=100k the sharded runtime is ~25x
+// faster than goroutine-per-peer (BENCH_live.json).
+//
+// LiveConfig.Net plugs a network model into the sharded runtime:
+// NetFixedLatency and NetGeomLatency keep messages in flight for several
+// rounds, NetLoss drops them iid, NetEpochChurn takes whole peers down for
+// whole epochs (correlated loss). Model randomness derives from
+// SplitMix64(seed, netDomain, round, sender), preserving shard-count
+// independence. The handshake absorbs all of it — payloads and answers
+// act on arrival, control messages that miss their matching round wait
+// for the rendezvous's next one — so hostile networks slow spreading
+// gracefully rather than wedging it; the hetsim "live" experiment tables
+// the sensitivity.
+//
 // # The repetition-parallel experiment harness
 //
 // Above single rounds, the experiment harness behind cmd/hetsim,

@@ -1,0 +1,81 @@
+// Livescale: one million peers running the dating handshake as real
+// messages — every offer, answer and payload individually routed — on the
+// sharded internal/live runtime. Goroutine-per-peer execution stops being
+// viable around 10^5 peers; the sharded runtime replaces it with a fixed
+// worker pool over flat message buffers and reaches 10^6 comfortably,
+// while staying bit-identical for every shard count (run it with -shards 1
+// and -shards 8: same curve, different wall-clock).
+//
+// A second run repeats the spread on a lossy, laggy network (10% iid loss
+// on top of geometric latency) to show the same protocol code degrading
+// gracefully under realistic conditions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "peer count")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "shard workers (any value: same result)")
+	lossy := flag.Bool("lossy", true, "repeat the run under 10% loss + geometric latency")
+	flag.Parse()
+
+	fmt.Printf("%d peers, %d shard workers, perfect-sync network\n\n", *n, *shards)
+	sync := run(repro.LiveConfig{
+		Profile: repro.UnitBandwidth(*n),
+		Seed:    31,
+		Engine:  repro.LiveSharded,
+		Shards:  *shards,
+	}, *n)
+
+	if !*lossy {
+		return
+	}
+	fmt.Printf("\nsame protocol, hostile network (10%% loss, geometric latency p=0.5):\n\n")
+	hostile := run(repro.LiveConfig{
+		Profile: repro.UnitBandwidth(*n),
+		Seed:    31,
+		Engine:  repro.LiveSharded,
+		Shards:  *shards,
+		Net:     repro.NetLoss{P: 0.10, Under: repro.NetGeomLatency{P: 0.5, Cap: 6}},
+	}, *n)
+	fmt.Printf("\ndegradation: %d -> %d dating rounds — slower, never stuck; no message is load-bearing\n",
+		sync, hostile)
+}
+
+// run executes one spread and prints its trajectory, returning the dating
+// round count.
+func run(cfg repro.LiveConfig, n int) int {
+	start := time.Now()
+	res, err := repro.SpreadRumorLive(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	step := len(res.History)/12 + 1
+	for round := 0; round < len(res.History); round += step {
+		printRound(round, res.History[round], n)
+	}
+	if (len(res.History)-1)%step != 0 {
+		printRound(len(res.History)-1, res.History[len(res.History)-1], n)
+	}
+	fmt.Printf("\ncompleted: %v in %d dating rounds (%d network rounds), %.1fs wall\n",
+		res.Completed, res.DatingRounds, res.Traffic.Rounds, elapsed.Seconds())
+	fmt.Printf("traffic: %d messages routed (%.1fM msg/s), max payloads into one peer per round: %d\n",
+		res.Traffic.Sent, float64(res.Traffic.Sent)/elapsed.Seconds()/1e6, res.MaxInPayloads)
+	return res.DatingRounds
+}
+
+func printRound(round, count, n int) {
+	bar := strings.Repeat("#", count*50/n)
+	fmt.Printf("dating round %3d: %8d informed |%-50s|\n", round+1, count, bar)
+}

@@ -132,7 +132,7 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 	// Offsets and fill: counting-sort the recorded requests into one
 	// contiguous buffer per kind, every bucket in global sender order (see
 	// countingOffsets in engine.go).
-	offTotal, reqTotal := countingOffsets(n, workers, scratch, a.offerOff, a.reqOff)
+	offTotal, reqTotal := buildOffsets(n, workers, scratch, a.offerOff, a.reqOff)
 	a.offersFlat = grow(a.offersFlat, int(offTotal))
 	a.reqFlat = grow(a.reqFlat, int(reqTotal))
 	replayFill(workers, scratch, a.offersFlat, a.reqFlat)

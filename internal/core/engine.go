@@ -33,8 +33,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -70,6 +70,12 @@ type workerScratch struct {
 	dates        []Date
 	offersSent   int
 	requestsSent int
+
+	// blockOff/blockReq carry worker w's destination-block totals (then
+	// block start offsets) through the two-level scan of
+	// countingOffsetsParallel; dead on the serial path.
+	blockOff int32
+	blockReq int32
 }
 
 func (ws *workerScratch) reset(n int) {
@@ -102,6 +108,11 @@ type engineScratch struct {
 	senderCut  []int // len workers+1: worker w scatters senders [cut[w], cut[w+1])
 	rdvCut     []int // len workers+1: worker w matches rendezvous [cut[w], cut[w+1])
 	one        [1]*rng.Stream
+
+	// Reseedable per-worker generators for the per-node/per-bucket derived
+	// streams of the seeded round path (see seeded.go); sized lazily.
+	seedGens    []*rng.Xoshiro256
+	seedStreams []*rng.Stream
 
 	// weight is the sender-shard balance weight bout(i)+bin(i); set by
 	// NewService (engineScratch does not hold the profile).
@@ -148,24 +159,10 @@ func (sv *Service) RunRoundParallelFiltered(streams []*rng.Stream, workers int, 
 }
 
 // runPhase fans one phase of a round out across workers goroutines;
-// phases are separated by barriers. workers == 1 runs inline on the
-// calling goroutine (the serial path spawns nothing). Shared by the
-// Service round engine and the Arranger.
+// phases are separated by barriers. Shared by the Service round engine and
+// the Arranger (and, via par.Do, the live message runtime).
 func runPhase(workers int, f func(w int)) {
-	if workers == 1 {
-		f(0)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 1; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			f(w)
-		}(w)
-	}
-	f(0)
-	wg.Wait()
+	par.Do(workers, f)
 }
 
 // countingOffsets is the serial offset pass shared by the Service engine
@@ -174,7 +171,9 @@ func runPhase(workers int, f func(w int)) {
 // partitioning every bucket as (worker 0's senders, worker 1's senders,
 // ...) — i.e. global sender order, since worker shards are contiguous
 // ascending sender ranges. scratch(w) yields worker w's scratch; offerOff
-// and reqOff must have length n+1.
+// and reqOff must have length n+1. Parallel rounds use
+// countingOffsetsParallel, which computes the same function without the
+// serial O(workers*n) bottleneck.
 func countingOffsets(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (offTotal, reqTotal int32) {
 	for v := 0; v < n; v++ {
 		offerOff[v] = offTotal
@@ -192,6 +191,68 @@ func countingOffsets(n, workers int, scratch func(w int) *workerScratch, offerOf
 	offerOff[n] = offTotal
 	reqOff[n] = reqTotal
 	return offTotal, reqTotal
+}
+
+// countingOffsetsParallel computes exactly the same offsets and cursors as
+// countingOffsets with a two-level prefix sum, removing the round's only
+// serial O(workers*n) pass. The destination space is cut into one block per
+// worker; level 1 sums each block's counts in parallel, a (tiny) serial
+// scan prefixes the per-block totals, and level 2 resolves each block's
+// per-destination cursors in parallel from its block offset. Both levels
+// visit the same (destination, worker) cells in the same order as the
+// serial scan, so the result is bit-identical.
+func countingOffsetsParallel(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (offTotal, reqTotal int32) {
+	bcut := func(p int) int { return n * p / workers }
+	runPhase(workers, func(p int) {
+		var ot, rt int32
+		for v := bcut(p); v < bcut(p+1); v++ {
+			for w := 0; w < workers; w++ {
+				ws := scratch(w)
+				ot += ws.offerCount[v]
+				rt += ws.reqCount[v]
+			}
+		}
+		ps := scratch(p)
+		ps.blockOff = ot
+		ps.blockReq = rt
+	})
+	// Serial prefix over the per-block totals, rewritten in place into each
+	// block's start offset (worker p's scratch carries block p's values).
+	for p := 0; p < workers; p++ {
+		ps := scratch(p)
+		ps.blockOff, offTotal = offTotal, offTotal+ps.blockOff
+		ps.blockReq, reqTotal = reqTotal, reqTotal+ps.blockReq
+	}
+	runPhase(workers, func(p int) {
+		ps := scratch(p)
+		ot, rt := ps.blockOff, ps.blockReq
+		for v := bcut(p); v < bcut(p+1); v++ {
+			offerOff[v] = ot
+			reqOff[v] = rt
+			for w := 0; w < workers; w++ {
+				ws := scratch(w)
+				c := ws.offerCount[v]
+				ws.offerCount[v] = ot
+				ot += c
+				c = ws.reqCount[v]
+				ws.reqCount[v] = rt
+				rt += c
+			}
+		}
+	})
+	offerOff[n] = offTotal
+	reqOff[n] = reqTotal
+	return offTotal, reqTotal
+}
+
+// buildOffsets picks the offset pass for the round's worker count: the
+// two-level parallel scan when workers can share the work, the plain serial
+// scan otherwise. Both compute identical bits.
+func buildOffsets(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (int32, int32) {
+	if workers > 1 {
+		return countingOffsetsParallel(n, workers, scratch, offerOff, reqOff)
+	}
+	return countingOffsets(n, workers, scratch, offerOff, reqOff)
 }
 
 // replayFill is the fill pass shared by the Service engine and the
@@ -253,7 +314,7 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 
 	// Offsets and fill: counting-sort the recorded requests into one
 	// contiguous buffer per kind (see countingOffsets for the layout).
-	offTotal, reqTotal := countingOffsets(n, workers, scratch, eng.offerOff, eng.reqOff)
+	offTotal, reqTotal := buildOffsets(n, workers, scratch, eng.offerOff, eng.reqOff)
 	eng.offersFlat = grow(eng.offersFlat, int(offTotal))
 	eng.reqFlat = grow(eng.reqFlat, int(reqTotal))
 	replayFill(workers, scratch, eng.offersFlat, eng.reqFlat)
@@ -276,19 +337,24 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 		}
 	})
 
-	// Merge: concatenate per-worker dates in worker order and rebuild the
-	// per-node counters from the merged list.
+	return mergeRound(n, workers, scratch)
+}
+
+// mergeRound concatenates per-worker dates in worker order and rebuilds the
+// per-node counters from the merged list; shared by the worker-stream and
+// the seeded round paths.
+func mergeRound(n, workers int, scratch func(w int) *workerScratch) RoundResult {
 	res := RoundResult{
 		PerNodeOut: make([]int, n),
 		PerNodeIn:  make([]int, n),
 	}
 	total := 0
 	for w := 0; w < workers; w++ {
-		total += len(eng.ws[w].dates)
+		total += len(scratch(w).dates)
 	}
 	res.Dates = make([]Date, 0, total)
 	for w := 0; w < workers; w++ {
-		ws := &eng.ws[w]
+		ws := scratch(w)
 		res.Dates = append(res.Dates, ws.dates...)
 		res.OffersSent += ws.offersSent
 		res.RequestsSent += ws.requestsSent

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/rng"
+)
+
+func TestSeededRoundWorkerIndependence(t *testing.T) {
+	// The seeded profile round is a pure function of (profile, selector,
+	// seed): every worker count gives the same bits.
+	profile, err := bandwidth.Geometric(5000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewUniformSelector(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		var ref RoundResult
+		for _, workers := range []int{1, 2, 8} {
+			svc, err := NewService(profile, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := svc.RunRoundSeeded(seed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateCapacities(res, profile); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if workers == 1 {
+				ref = res
+				if len(ref.Dates) == 0 {
+					t.Fatal("no dates arranged")
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("seed %d: workers=%d diverged from workers=1 (%d vs %d dates)",
+					seed, workers, len(res.Dates), len(ref.Dates))
+			}
+		}
+	}
+}
+
+func TestSeededRoundScratchReuse(t *testing.T) {
+	// Reusing one Service across seeded, worker-stream and serial rounds
+	// must not leak state between the paths.
+	profile := bandwidth.Homogeneous(800, 2)
+	sel, _ := NewUniformSelector(800)
+	svc, err := NewService(profile, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc.RunRoundSeeded(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RunRound(rng.New(99))
+	if _, err := svc.RunRoundParallel(rng.NewStreams(5, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	again, err := svc.RunRoundSeeded(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("interleaving other round paths changed a seeded round's result")
+	}
+}
+
+func TestSeededRoundMatchesArranger(t *testing.T) {
+	// An unfiltered seeded round uses the Arranger's exact derivation
+	// scheme, so it must arrange the very same dates as
+	// Arranger.Arrange(profile.Out, profile.In, seed, ·).
+	profile, err := bandwidth.Geometric(2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewUniformSelector(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(profile, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewArranger(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 1234
+	res, err := svc.RunRoundSeeded(seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates, err := arr.Arrange(profile.Out, profile.In, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Dates, dates) {
+		t.Fatalf("seeded round and Arranger disagree: %d vs %d dates", len(res.Dates), len(dates))
+	}
+}
+
+func TestSeededRoundFilteredWorkerIndependence(t *testing.T) {
+	profile := bandwidth.Homogeneous(3000, 1)
+	sel, _ := NewUniformSelector(3000)
+	alive := func(i int) bool { return i%7 != 0 }
+	var ref RoundResult
+	for _, workers := range []int{1, 4} {
+		svc, err := NewService(profile, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.RunRoundSeededFiltered(99, workers, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Dates {
+			if !alive(d.Sender) || !alive(d.Receiver) {
+				t.Fatalf("date %v involves a dead node", d)
+			}
+		}
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("filtered seeded round: workers=%d diverged", workers)
+		}
+	}
+}
+
+func TestSeededRoundValidation(t *testing.T) {
+	profile := bandwidth.Homogeneous(10, 1)
+	sel, _ := NewUniformSelector(10)
+	svc, _ := NewService(profile, sel)
+	if _, err := svc.RunRoundSeeded(1, 0); err == nil {
+		t.Error("accepted workers = 0")
+	}
+}
+
+// fillScratch populates workers count vectors with a deterministic pseudo-
+// random pattern for the offset-scan tests and benchmarks.
+func fillScratch(n, workers int, seed uint64) []workerScratch {
+	ws := make([]workerScratch, workers)
+	s := rng.New(seed)
+	for w := range ws {
+		ws[w].offerCount = make([]int32, n)
+		ws[w].reqCount = make([]int32, n)
+		for v := 0; v < n; v++ {
+			ws[w].offerCount[v] = int32(s.Intn(3))
+			ws[w].reqCount[v] = int32(s.Intn(3))
+		}
+	}
+	return ws
+}
+
+func TestCountingOffsetsParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 1}, {17, 2}, {100, 3}, {1000, 8}, {1000, 16},
+	} {
+		serial := fillScratch(tc.n, tc.workers, 5)
+		par := fillScratch(tc.n, tc.workers, 5)
+		so, sr := make([]int32, tc.n+1), make([]int32, tc.n+1)
+		po, pr := make([]int32, tc.n+1), make([]int32, tc.n+1)
+		st, srt := countingOffsets(tc.n, tc.workers, func(w int) *workerScratch { return &serial[w] }, so, sr)
+		pt, prt := countingOffsetsParallel(tc.n, tc.workers, func(w int) *workerScratch { return &par[w] }, po, pr)
+		if st != pt || srt != prt {
+			t.Fatalf("n=%d workers=%d: totals diverge (%d/%d vs %d/%d)", tc.n, tc.workers, st, srt, pt, prt)
+		}
+		if !reflect.DeepEqual(so, po) || !reflect.DeepEqual(sr, pr) {
+			t.Fatalf("n=%d workers=%d: offset tables diverge", tc.n, tc.workers)
+		}
+		for w := 0; w < tc.workers; w++ {
+			if !reflect.DeepEqual(serial[w].offerCount, par[w].offerCount) ||
+				!reflect.DeepEqual(serial[w].reqCount, par[w].reqCount) {
+				t.Fatalf("n=%d workers=%d: worker %d cursors diverge", tc.n, tc.workers, w)
+			}
+		}
+	}
+}
+
+// BenchmarkOffsetScan compares the serial O(workers*n) bucket-offset scan
+// with the two-level parallel prefix sum at engine scale. The pristine
+// counts are restored outside the timed sections (the pass rewrites them
+// into cursors in place).
+func BenchmarkOffsetScan(b *testing.B) {
+	const n, workers = 1_000_000, 8
+	pristine := fillScratch(n, workers, 11)
+	work := fillScratch(n, workers, 11)
+	offerOff := make([]int32, n+1)
+	reqOff := make([]int32, n+1)
+	restore := func() {
+		for w := range work {
+			copy(work[w].offerCount, pristine[w].offerCount)
+			copy(work[w].reqCount, pristine[w].reqCount)
+		}
+	}
+	scratch := func(w int) *workerScratch { return &work[w] }
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			restore()
+			b.StartTimer()
+			countingOffsets(n, workers, scratch, offerOff, reqOff)
+		}
+	})
+	b.Run("two-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			restore()
+			b.StartTimer()
+			countingOffsetsParallel(n, workers, scratch, offerOff, reqOff)
+		}
+	})
+}
+
+// BenchmarkSeededRound quantifies the derivation overhead of the
+// worker-count-independent round against the worker-stream and serial
+// paths at n=100k (the cost quoted in doc.go).
+func BenchmarkSeededRound(b *testing.B) {
+	const n = 100_000
+	profile := bandwidth.Homogeneous(n, 1)
+	sel, _ := NewUniformSelector(n)
+	b.Run("serial-stream", func(b *testing.B) {
+		svc, _ := NewService(profile, sel)
+		s := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			svc.RunRound(s)
+		}
+	})
+	b.Run("worker-stream-1", func(b *testing.B) {
+		svc, _ := NewService(profile, sel)
+		streams := rng.NewStreams(1, 1)
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.RunRoundParallel(streams, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seeded-1", func(b *testing.B) {
+		svc, _ := NewService(profile, sel)
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.RunRoundSeeded(uint64(i), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

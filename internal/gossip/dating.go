@@ -17,10 +17,12 @@ import (
 // bandwidth but keeps the protocol simple and churn-tolerant, and the
 // O(log n) bound holds regardless (Theorem 4).
 //
-// When workerStreams is non-empty the round runs on the parallel engine
-// with len(workerStreams) workers — the large-n path; otherwise it runs
-// serially on the caller's stream.
-func datingStep(svc *core.Service, workerStreams []*rng.Stream) stepFunc {
+// When workers >= 1 each round runs on the seeded engine
+// (core.Service.RunRoundSeededFiltered) with a per-round seed drawn off
+// the run stream: the spreading run is bit-identical for every workers
+// value, so RumorConfig.Workers is a pure speed knob. workers == 0 keeps
+// the legacy serial path driven directly by the run stream.
+func datingStep(svc *core.Service, workers int) stepFunc {
 	return func(st *state, s *rng.Stream) {
 		var alive func(i int) bool
 		if anyDead(st.alive) {
@@ -29,13 +31,15 @@ func datingStep(svc *core.Service, workerStreams []*rng.Stream) stepFunc {
 			alive = func(i int) bool { return st.alive[i] }
 		}
 		var res core.RoundResult
-		if len(workerStreams) > 1 {
+		if workers >= 1 {
+			// One draw per round whatever the worker count, so the run
+			// stream evolves identically for every workers value.
 			var err error
-			res, err = svc.RunRoundParallelFiltered(workerStreams, len(workerStreams), alive)
+			res, err = svc.RunRoundSeededFiltered(s.Uint64(), workers, alive)
 			if err != nil {
 				// Run validated the worker configuration; a failure here is
 				// a programming error, not a runtime condition.
-				panic(fmt.Sprintf("gossip: parallel dating round failed: %v", err))
+				panic(fmt.Sprintf("gossip: seeded dating round failed: %v", err))
 			}
 		} else {
 			res = svc.RunRoundFiltered(s, alive)

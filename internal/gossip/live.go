@@ -5,15 +5,29 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 )
 
+// LiveEngine selects the execution substrate for a message-level run.
+type LiveEngine int
+
+const (
+	// LiveGoroutine is the legacy engine: one goroutine per peer (or its
+	// sequential twin, per LiveConfig.Concurrent). Perfect-sync only.
+	LiveGoroutine LiveEngine = iota
+	// LiveSharded is the internal/live runtime: a fixed pool of shard
+	// workers over flat message buffers. It scales to millions of peers,
+	// is bit-identical for every shard count, and accepts a NetModel.
+	LiveSharded
+)
+
 // LiveConfig parameterizes a fully message-level spreading run: the dating
-// service's three-step handshake (scatter, answer, payload) executed by one
-// goroutine per peer on the simnet.Live engine. Nothing is shared between
-// peers except messages; each peer's only state is whether it knows the
-// rumor. This is the protocol exactly as a real deployment would run it.
+// service's three-step handshake (scatter, answer, payload) executed peer
+// by peer on a message engine. Nothing is shared between peers except
+// messages; each peer's only state is whether it knows the rumor. This is
+// the protocol exactly as a real deployment would run it.
 type LiveConfig struct {
 	Profile bandwidth.Profile
 	// Selector defaults to uniform over the profile's nodes.
@@ -22,9 +36,23 @@ type LiveConfig struct {
 	// MaxDatingRounds caps the run (0 = generous log-based default).
 	MaxDatingRounds int
 	Seed            uint64
-	// Concurrent selects the Live engine (true) or its sequential twin
-	// (false); both produce identical results for the same seed.
+	// Concurrent selects the goroutine engine (true) or its sequential twin
+	// (false); both produce identical results for the same seed. Ignored by
+	// the sharded engine, which always runs its shard workers.
 	Concurrent bool
+	// Engine picks the substrate; the zero value is the goroutine engine.
+	// (All engines now share the sharded runtime's per-peer stream
+	// derivation, so goroutine-engine trajectories differ from releases
+	// that seeded peers with rng.NewStreams — and match LiveSharded's.)
+	Engine LiveEngine
+	// Shards is the sharded engine's worker count (0 = GOMAXPROCS). The
+	// run's results are bit-identical for every value: shards are a pure
+	// speed knob.
+	Shards int
+	// Net plugs a network model — latency, loss, churn — into the sharded
+	// engine; nil is the paper's perfect-sync model. The goroutine engine
+	// rejects non-nil models.
+	Net live.NetModel
 }
 
 // LiveResult reports a message-level spreading run.
@@ -34,21 +62,27 @@ type LiveResult struct {
 	History      []int // informed count after each dating round
 	// MaxInPayloads is the largest number of payload messages any node
 	// received in one dating round; the dating service guarantees it never
-	// exceeds that node's bin.
+	// exceeds that node's bin under the perfect-sync model (latency models
+	// may bunch deliveries of adjacent rounds).
 	MaxInPayloads int
 	Traffic       simnet.Stats
 }
 
 // livePeerState is the per-peer protocol state. Peer i writes only index i
-// of each slice, so the goroutines never race; the engine's round barrier
+// of each slice, so concurrent peers never race; the engine's round barrier
 // publishes the writes to the coordinator.
 type livePeerState struct {
 	informed   []bool
 	inPayloads []int // payloads received in the current dating round
+	// pendOffers/pendRequests buffer control messages that arrive outside
+	// their handshake phase — possible only under latency models, so both
+	// stay nil (and cost nothing) under perfect sync.
+	pendOffers   [][]int32
+	pendRequests [][]int32
 }
 
-// RunLive executes rumor spreading with the dating-service handshake on the
-// live engine.
+// RunLive executes rumor spreading with the dating-service handshake on a
+// live message engine.
 func RunLive(cfg LiveConfig) (LiveResult, error) {
 	n := cfg.Profile.N()
 	if n == 0 {
@@ -59,6 +93,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	}
 	if cfg.Source < 0 || cfg.Source >= n {
 		return LiveResult{}, fmt.Errorf("gossip: source %d out of range [0,%d)", cfg.Source, n)
+	}
+	if cfg.Engine == LiveGoroutine && cfg.Net != nil {
+		return LiveResult{}, fmt.Errorf("gossip: network models require the sharded engine")
 	}
 	sel := cfg.Selector
 	if sel == nil {
@@ -83,19 +120,48 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		informed:   make([]bool, n),
 		inPayloads: make([]int, n),
 	}
+	if cfg.Net != nil && cfg.Net.MaxDelay() > 1 {
+		// Latency can deliver offers and demands outside their phase; give
+		// every rendezvous a holding buffer until its next matching round.
+		st.pendOffers = make([][]int32, n)
+		st.pendRequests = make([][]int32, n)
+	}
 	st.informed[cfg.Source] = true
 
-	step := liveStep(cfg.Profile, sel, st)
-	eng, err := simnet.NewLive(n, cfg.Seed, step)
-	if err != nil {
-		return LiveResult{}, err
-	}
-
-	run := func(steps int) simnet.Stats {
-		if cfg.Concurrent {
-			return eng.Run(steps)
+	step := liveEmitStep(cfg.Profile, sel, st)
+	var run func(steps int) simnet.Stats
+	switch cfg.Engine {
+	case LiveGoroutine:
+		// Derive the per-peer streams exactly as the sharded runtime does,
+		// so the engine choice never changes results: goroutine, sequential
+		// and sharded runs of one seed are bit-identical under perfect sync.
+		streams := make([]*rng.Stream, n)
+		for i := range streams {
+			streams[i] = rng.New(live.PeerSeed(cfg.Seed, i))
 		}
-		return eng.RunSequential(steps)
+		eng, err := simnet.NewLiveWithStreams(streams, adaptStep(step))
+		if err != nil {
+			return LiveResult{}, err
+		}
+		if cfg.Concurrent {
+			run = eng.Run
+		} else {
+			run = eng.RunSequential
+		}
+	case LiveSharded:
+		rt, err := live.New(live.Config{
+			N:      n,
+			Seed:   cfg.Seed,
+			Step:   step,
+			Shards: cfg.Shards,
+			Net:    cfg.Net,
+		})
+		if err != nil {
+			return LiveResult{}, err
+		}
+		run = rt.Run
+	default:
+		return LiveResult{}, fmt.Errorf("gossip: unknown live engine %d", cfg.Engine)
 	}
 
 	var res LiveResult
@@ -129,70 +195,95 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	return res, nil
 }
 
-// liveStep builds the per-peer state machine. Network round r is phase
-// r % 3 of a dating round:
+// liveEmitStep builds the per-peer handshake state machine, in the sharded
+// runtime's emit form. Network round r is phase r % 3 of a dating round:
 //
-//	phase 0: absorb payloads from the previous round, scatter offers and
-//	         receiving requests;
+//	phase 0: scatter offers and receiving requests;
 //	phase 1: act as rendezvous — match, answer offers with partner address;
 //	phase 2: senders with a partner transmit the payload, carrying the
 //	         rumor bit.
-func liveStep(profile bandwidth.Profile, sel core.Selector, st *livePeerState) simnet.StepFunc {
-	return func(node, round int, inbox []simnet.Message, s *rng.Stream) []simnet.Message {
-		switch round % 3 {
-		case 0:
-			var out []simnet.Message
-			for _, m := range inbox {
-				if m.Kind == core.KindPayload {
-					st.inPayloads[node]++
-					if m.A == 1 {
-						st.informed[node] = true
-					}
+//
+// Unlike the phase-switched legacy version, arrivals are handled by kind,
+// whenever they come in: payloads are absorbed immediately, answers are
+// acted on immediately, and offers/demands that miss their matching round
+// (possible only under latency models) wait in the peer's pending buffers
+// for the next one. Under the perfect-sync model every message arrives in
+// its natural phase, so this reduces bit-for-bit to the legacy behavior.
+func liveEmitStep(profile bandwidth.Profile, sel core.Selector, st *livePeerState) live.StepFunc {
+	return func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		var offers, requests []int32
+		for _, m := range inbox {
+			switch m.Kind {
+			case core.KindPayload:
+				st.inPayloads[node]++
+				if m.A == 1 {
+					st.informed[node] = true
 				}
+			case core.KindAnswer:
+				if m.A >= 0 {
+					rumor := int64(0)
+					if st.informed[node] {
+						rumor = 1
+					}
+					emit(simnet.Message{To: int(m.A), Kind: core.KindPayload, A: rumor})
+				}
+			case core.KindOffer:
+				offers = append(offers, int32(m.From))
+			case core.KindRequest:
+				requests = append(requests, int32(m.From))
 			}
+		}
+
+		switch round % 3 {
+		case 0: // scatter
 			for k := 0; k < profile.Out[node]; k++ {
-				out = append(out, simnet.Message{To: sel.Pick(s), Kind: core.KindOffer})
+				emit(simnet.Message{To: sel.Pick(s), Kind: core.KindOffer})
 			}
 			for k := 0; k < profile.In[node]; k++ {
-				out = append(out, simnet.Message{To: sel.Pick(s), Kind: core.KindRequest})
+				emit(simnet.Message{To: sel.Pick(s), Kind: core.KindRequest})
 			}
-			return out
 
-		case 1:
-			var offers, requests []int32
-			for _, m := range inbox {
-				switch m.Kind {
-				case core.KindOffer:
-					offers = append(offers, int32(m.From))
-				case core.KindRequest:
-					requests = append(requests, int32(m.From))
-				}
+		case 1: // rendezvous: match everything that made it here in time
+			if st.pendOffers != nil {
+				// Earlier arrivals first, then this round's, so the match
+				// sees requests in arrival order. The merged slices alias
+				// the pending backing arrays, which are cleared below and
+				// not touched again until this call returns.
+				offers = append(st.pendOffers[node], offers...)
+				requests = append(st.pendRequests[node], requests...)
+				st.pendOffers[node] = st.pendOffers[node][:0]
+				st.pendRequests[node] = st.pendRequests[node][:0]
 			}
 			q := len(offers)
 			if len(requests) < q {
 				q = len(requests)
 			}
-			var out []simnet.Message
 			core.MatchRendezvous(offers, requests, s, func(sender, receiver int32) {
-				out = append(out, simnet.Message{To: int(sender), Kind: core.KindAnswer, A: int64(receiver)})
+				emit(simnet.Message{To: int(sender), Kind: core.KindAnswer, A: int64(receiver)})
 			})
 			for _, o := range offers[q:] {
-				out = append(out, simnet.Message{To: int(o), Kind: core.KindAnswer, A: -1})
+				emit(simnet.Message{To: int(o), Kind: core.KindAnswer, A: -1})
 			}
-			return out
-
-		default: // phase 2
-			var out []simnet.Message
-			rumor := int64(0)
-			if st.informed[node] {
-				rumor = 1
-			}
-			for _, m := range inbox {
-				if m.Kind == core.KindAnswer && m.A >= 0 {
-					out = append(out, simnet.Message{To: int(m.A), Kind: core.KindPayload, A: rumor})
-				}
-			}
-			return out
+			return
 		}
+
+		// Off-phase control arrivals (latency models only) wait for the
+		// peer's next matching round.
+		if len(offers) > 0 {
+			st.pendOffers[node] = append(st.pendOffers[node], offers...)
+		}
+		if len(requests) > 0 {
+			st.pendRequests[node] = append(st.pendRequests[node], requests...)
+		}
+	}
+}
+
+// adaptStep converts the emit-style step back to the slice-returning shape
+// of the goroutine engine, so both substrates run the same protocol code.
+func adaptStep(step live.StepFunc) simnet.StepFunc {
+	return func(node, round int, inbox []simnet.Message, s *rng.Stream) []simnet.Message {
+		var out []simnet.Message
+		step(node, round, inbox, s, func(m simnet.Message) { out = append(out, m) })
+		return out
 	}
 }

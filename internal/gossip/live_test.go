@@ -1,10 +1,13 @@
 package gossip
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 )
@@ -199,4 +202,149 @@ func TestLiveStepPhases(t *testing.T) {
 	if len(out) != 2 { // one offer + one request scattered
 		t.Fatalf("scatter emitted %d messages, want 2", len(out))
 	}
+}
+
+func TestRunLiveShardedBitIdentity(t *testing.T) {
+	// The sharded engine's headline property, at spread scale: 10k peers,
+	// full handshake protocol, identical results for every shard count.
+	run := func(shards int) LiveResult {
+		res, err := RunLive(LiveConfig{
+			Profile: bandwidth.Homogeneous(10_000, 1),
+			Seed:    17,
+			Engine:  LiveSharded,
+			Shards:  shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if !ref.Completed {
+		t.Fatalf("sharded spread incomplete after %d dating rounds", ref.DatingRounds)
+	}
+	for _, shards := range []int{2, 8} {
+		if got := run(shards); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("shards=%d diverged from shards=1: %d vs %d dating rounds, history %v vs %v",
+				shards, got.DatingRounds, ref.DatingRounds, got.History, ref.History)
+		}
+	}
+}
+
+func TestRunLiveEnginesAgree(t *testing.T) {
+	// All three substrates — goroutine-per-peer, its sequential twin, and
+	// the sharded runtime — share per-peer stream derivation and must give
+	// exactly the same spreading trajectory under the perfect-sync model.
+	base := LiveConfig{Profile: bandwidth.Homogeneous(1500, 1), Seed: 23}
+	variants := []LiveConfig{}
+	for _, concurrent := range []bool{false, true} {
+		c := base
+		c.Engine, c.Concurrent = LiveGoroutine, concurrent
+		variants = append(variants, c)
+	}
+	for _, shards := range []int{1, 4} {
+		c := base
+		c.Engine, c.Shards = LiveSharded, shards
+		variants = append(variants, c)
+	}
+	var ref LiveResult
+	for i, cfg := range variants {
+		res, err := RunLive(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			if !ref.Completed {
+				t.Fatalf("spread incomplete after %d dating rounds", ref.DatingRounds)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("engine variant %d diverged: history %v vs %v", i, res.History, ref.History)
+		}
+	}
+}
+
+func TestRunLiveNetModelSensitivity(t *testing.T) {
+	// Latency and loss must slow spreading down, never speed it up, and the
+	// protocol must still complete under moderate degradation.
+	run := func(net live.NetModel) LiveResult {
+		res, err := RunLive(LiveConfig{
+			Profile: bandwidth.Homogeneous(2000, 1),
+			Seed:    29,
+			Engine:  LiveSharded,
+			Shards:  2,
+			Net:     net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sync := run(nil)
+	if !sync.Completed {
+		t.Fatal("sync run incomplete")
+	}
+	for name, net := range map[string]live.NetModel{
+		"latency2": live.FixedLatency{Rounds: 2},
+		"geom":     live.GeomLatency{P: 0.5, Cap: 6},
+		"loss20":   live.Loss{P: 0.2},
+		"churn":    live.EpochChurn{Seed: 3, Epoch: 6, DownFrac: 0.2},
+	} {
+		res := run(net)
+		if !res.Completed {
+			t.Fatalf("%s: incomplete after %d dating rounds", name, res.DatingRounds)
+		}
+		if res.DatingRounds < sync.DatingRounds {
+			t.Fatalf("%s: degraded network spread FASTER (%d vs %d dating rounds)",
+				name, res.DatingRounds, sync.DatingRounds)
+		}
+	}
+}
+
+func TestRunLiveGoroutineRejectsNetModel(t *testing.T) {
+	_, err := RunLive(LiveConfig{
+		Profile: bandwidth.Homogeneous(16, 1),
+		Net:     live.Loss{P: 0.1},
+	})
+	if err == nil {
+		t.Fatal("goroutine engine accepted a network model")
+	}
+}
+
+func TestRunLiveShardedOverlap(t *testing.T) {
+	// Overlapping sharded spreading runs must not interfere (each runtime
+	// and peer-state is private); -race builds make this a real check.
+	var wg sync.WaitGroup
+	results := make([]LiveResult, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunLive(LiveConfig{
+				Profile: bandwidth.Homogeneous(800, 1),
+				Seed:    37,
+				Engine:  LiveSharded,
+				Shards:  3,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("overlapping run %d diverged", i)
+		}
+	}
+}
+
+// liveStep is the slice-returning form of the handshake step, used by the
+// single-phase unit tests above.
+func liveStep(profile bandwidth.Profile, sel core.Selector, st *livePeerState) simnet.StepFunc {
+	return adaptStep(liveEmitStep(profile, sel, st))
 }

@@ -45,11 +45,12 @@ type MultiRumorConfig struct {
 	Injections []Injection
 	Forwarding Forwarding
 	MaxRounds  int
-	// Workers, if greater than 1, runs every dating round on the parallel
-	// engine, exactly as Config.Workers does for single-rumor runs: the
-	// per-worker streams are split deterministically from the run stream,
-	// so a run stays reproducible for a fixed (seed, Workers). 0 and 1
-	// select the serial path.
+	// Workers, if at least 1, runs every dating round on the seeded engine
+	// (core.Service.RunRoundSeeded), exactly as Config.Workers does for
+	// single-rumor runs: randomness derives per node and per rendezvous
+	// from a per-round seed drawn off the run stream, so the run is
+	// bit-identical for every Workers >= 1 — a pure speed knob. 0 keeps
+	// the legacy serial path driven directly by the run stream.
 	Workers int
 }
 
@@ -99,15 +100,6 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 	if cfg.Workers < 0 {
 		return MultiRumorResult{}, fmt.Errorf("gossip: workers %d must be non-negative", cfg.Workers)
 	}
-	var workerStreams []*rng.Stream
-	if cfg.Workers > 1 {
-		// Split the worker streams off the run stream up front so their
-		// seeds — and hence the whole run — depend only on (seed, Workers).
-		workerStreams = make([]*rng.Stream, cfg.Workers)
-		for i := range workerStreams {
-			workerStreams[i] = s.Split()
-		}
-	}
 
 	nRumors := len(cfg.Injections)
 	maxRounds := cfg.MaxRounds
@@ -150,8 +142,10 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 		}
 
 		var dates []core.Date
-		if len(workerStreams) > 1 {
-			pres, err := svc.RunRoundParallel(workerStreams, len(workerStreams))
+		if cfg.Workers >= 1 {
+			// One draw per round whatever the worker count, so the run
+			// stream evolves identically for every Workers value.
+			pres, err := svc.RunRoundSeeded(s.Uint64(), cfg.Workers)
 			if err != nil {
 				return MultiRumorResult{}, err
 			}

@@ -212,3 +212,31 @@ func TestMultiRumorWorkers(t *testing.T) {
 		t.Error("accepted negative Workers")
 	}
 }
+
+func TestMultiRumorWorkersPureSpeedKnob(t *testing.T) {
+	// Like single-rumor spreading, multirumor Workers >= 1 rides the seeded
+	// engine: bit-identical for every worker count.
+	run := func(workers int) MultiRumorResult {
+		res, err := RunMultiRumor(MultiRumorConfig{
+			N: 600,
+			Injections: []Injection{
+				{Round: 1, Source: 0},
+				{Round: 4, Source: 17},
+			},
+			Workers: workers,
+		}, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if !ref.Completed {
+		t.Fatalf("incomplete after %d rounds", ref.Rounds)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("Workers=%d diverged from Workers=1", workers)
+		}
+	}
+}

@@ -51,3 +51,29 @@ func TestWorkersValidation(t *testing.T) {
 		t.Error("accepted negative Workers")
 	}
 }
+
+func TestDatingWorkersPureSpeedKnob(t *testing.T) {
+	// Workers >= 1 rides the seeded engine: the whole run — rounds,
+	// history, loads — is bit-identical for every worker count, including
+	// under churn (crash sampling shares the run stream with the per-round
+	// seed draws).
+	for _, crash := range []float64{0, 0.01} {
+		run := func(workers int) Result {
+			res, err := Run(Config{Algorithm: Dating, N: 3000, Workers: workers, CrashProb: crash}, rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ref := run(1)
+		if !ref.Completed {
+			t.Fatalf("crash=%v: incomplete after %d rounds", crash, ref.Rounds)
+		}
+		for _, workers := range []int{2, 8} {
+			if got := run(workers); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("crash=%v: Workers=%d diverged from Workers=1 (%d vs %d rounds)",
+					crash, workers, got.Rounds, ref.Rounds)
+			}
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package live is the sharded message-level runtime: it executes the same
+// per-peer protocol step functions as the simnet engines, but scales to
+// millions of peers by replacing goroutine-per-peer execution with a fixed
+// set of shard workers and flat, reusable message buffers.
+//
+// # Architecture
+//
+// The runtime splits the peer id space into Shards contiguous ranges, one
+// per worker. Each round proceeds in three phases:
+//
+//	deliver  the messages due this round are counting-sorted by destination
+//	         into one flat buffer (the core engine's scatter idiom: parallel
+//	         per-chunk counts, a two-level prefix sum over (chunk,
+//	         destination-block) count blocks, then a parallel stable fill),
+//	         so peer i's inbox is the contiguous slice flat[off[i]:off[i+1]];
+//	step     each shard worker walks its peer range in order, invoking the
+//	         StepFunc with the peer's inbox and private stream; emitted
+//	         messages are planned by the NetModel and recorded in
+//	         shard-local per-delay buffers;
+//	route    per-delay buffers are appended to the delivery ring's future
+//	         slots in shard order, and traffic counters are merged.
+//
+// # Determinism
+//
+// A run is a pure function of (n, seed, step, net model) — the shard count
+// is invisible. Three properties make that hold:
+//
+//   - Peer randomness: peer i draws from a stream seeded
+//     rng.Derive(seed, peerDomain, i), stored as a flat xoshiro state array;
+//     only the shard owning peer i ever advances state i.
+//   - Network randomness: a NetModel that consumes randomness gets a stream
+//     seeded rng.Derive(seed, netDomain, round, sender), re-derived at each
+//     sender's first emission of the round; decisions depend on the message
+//     sequence, never the worker.
+//   - Message order: shards own contiguous ascending peer ranges and walk
+//     them in order, so concatenating shard buffers in shard order yields
+//     global sender order; the delivery sort is stable, so every inbox is
+//     in canonical (send round, sender, emission index) order — the exact
+//     order the goroutine-per-peer simnet.Live engine produces.
+//
+// The runtime is therefore bit-identical to a sequential run for any shard
+// count, and — under the Sync model, with identical per-peer streams — to
+// simnet.Live itself. The test suite pins both properties.
+package live
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// Seed-derivation domains, keeping the runtime's stream families disjoint.
+const (
+	peerDomain  uint64 = 0x91 // per-peer protocol streams
+	netDomain   uint64 = 0x92 // per-(round, sender) network-model streams
+	churnDomain uint64 = 0x93 // EpochChurn's (epoch, peer) down-ness hash
+)
+
+// PeerSeed returns the seed of peer i's private stream in a runtime rooted
+// at seed. Exposed so tests can replay a runtime's exact randomness on the
+// legacy engines.
+func PeerSeed(seed uint64, i int) uint64 {
+	return rng.Derive(seed, peerDomain, uint64(i))
+}
+
+// StepFunc is one peer's behavior for one round: given its id, the round
+// number, and the messages delivered to it, it emits the messages it wants
+// to send (From is stamped by the runtime). The provided stream is the
+// peer's private randomness. A StepFunc may keep per-peer protocol state
+// indexed by node, but must not touch any shared state: peers of different
+// shards run concurrently. The emit-callback shape (instead of returning a
+// slice, as simnet.StepFunc does) lets the runtime route messages without a
+// per-peer allocation; Adapt converts a simnet.StepFunc.
+type StepFunc func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message))
+
+// Adapt wraps a slice-returning simnet.StepFunc as a StepFunc, so protocol
+// code written for the legacy engines runs on the sharded runtime unchanged.
+func Adapt(step simnet.StepFunc) StepFunc {
+	return func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		for _, m := range step(node, round, inbox, s) {
+			emit(m)
+		}
+	}
+}
+
+// Config parameterizes a runtime.
+type Config struct {
+	// N is the peer count.
+	N int
+	// Seed roots every stream of the run.
+	Seed uint64
+	// Step is the per-peer protocol.
+	Step StepFunc
+	// Shards is the worker count; any value produces bit-identical results.
+	// 0 selects GOMAXPROCS.
+	Shards int
+	// Net decides message fates; nil is the paper's perfect-sync model.
+	Net NetModel
+}
+
+// cursorSource adapts the flat per-peer xoshiro state array as an
+// rng.Source: the owning shard points node at the peer being stepped, so
+// one Stream per shard serves every peer of the shard without allocation.
+type cursorSource struct {
+	states []rng.Xoshiro256
+	node   int
+}
+
+func (c *cursorSource) Uint64() uint64   { return c.states[c.node].Uint64() }
+func (c *cursorSource) Seed(seed uint64) { c.states[c.node].Seed(seed) }
+
+// shard is one worker's private state. Shards only ever touch their own
+// fields plus disjoint regions of the runtime's flat arrays.
+type shard struct {
+	src       cursorSource
+	stream    *rng.Stream
+	netGen    rng.Xoshiro256
+	netStream *rng.Stream
+
+	// byDelay[d] holds this round's emissions in flight for d rounds, in
+	// emission order; index 0 is unused.
+	byDelay [][]simnet.Message
+	// counts is the per-destination scratch of the delivery sort.
+	counts []int32
+	// chunk prefix state of the delivery sort's two-level offset pass.
+	blockTot int32
+
+	sender    int
+	netSeeded bool
+	emit      func(simnet.Message)
+
+	sent    int64
+	dropped int64
+	byKind  [256]int64
+}
+
+// Runtime executes a protocol over n peers with shard workers. Construct
+// with New; a Runtime runs one round at a time (Run must not be called
+// concurrently), parallelism happens inside the round.
+type Runtime struct {
+	n        int
+	shards   int
+	step     StepFunc
+	net      NetModel
+	netRand  bool
+	maxDelay int
+	seed     uint64
+	round    int
+
+	states []rng.Xoshiro256
+	cut    []int
+	sh     []shard
+
+	// slots is the delivery ring: messages due at round r sit in
+	// slots[r % (maxDelay+1)], in canonical (send round, sender) order.
+	slots [][]simnet.Message
+	// sorted/inOff are the delivered view: peer i's inbox this round is
+	// sorted[inOff[i]:inOff[i+1]].
+	sorted []simnet.Message
+	inOff  []int32
+
+	stats simnet.Stats
+}
+
+// New builds a runtime. Peer streams are seeded in parallel across the
+// shard workers.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("live: runtime needs n > 0, got %d", cfg.N)
+	}
+	if cfg.Step == nil {
+		return nil, fmt.Errorf("live: runtime needs a step function")
+	}
+	net := cfg.Net
+	if net == nil {
+		net = Sync{}
+	}
+	if err := validateNet(net); err != nil {
+		return nil, err
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("live: shards %d must be non-negative", cfg.Shards)
+	}
+	if shards > cfg.N {
+		shards = cfg.N
+	}
+
+	rt := &Runtime{
+		n:        cfg.N,
+		shards:   shards,
+		step:     cfg.Step,
+		net:      net,
+		netRand:  net.Random(),
+		maxDelay: net.MaxDelay(),
+		seed:     cfg.Seed,
+		states:   make([]rng.Xoshiro256, cfg.N),
+		cut:      make([]int, shards+1),
+		sh:       make([]shard, shards),
+		slots:    make([][]simnet.Message, net.MaxDelay()+1),
+		inOff:    make([]int32, cfg.N+1),
+	}
+	for w := 0; w <= shards; w++ {
+		rt.cut[w] = cfg.N * w / shards
+	}
+	for w := range rt.sh {
+		sh := &rt.sh[w]
+		sh.src.states = rt.states
+		sh.stream = rng.NewWithSource(&sh.src)
+		sh.netStream = rng.NewWithSource(&sh.netGen)
+		sh.byDelay = make([][]simnet.Message, rt.maxDelay+1)
+		sh.counts = make([]int32, cfg.N)
+		sh.emit = rt.makeEmit(sh)
+	}
+	rt.fanOut(func(w int) {
+		for i := rt.cut[w]; i < rt.cut[w+1]; i++ {
+			rt.states[i].Seed(PeerSeed(cfg.Seed, i))
+		}
+	})
+	return rt, nil
+}
+
+// N returns the peer count.
+func (rt *Runtime) N() int { return rt.n }
+
+// Shards returns the effective worker count.
+func (rt *Runtime) Shards() int { return rt.shards }
+
+// Round returns the next round number Run will execute.
+func (rt *Runtime) Round() int { return rt.round }
+
+// Stats returns a copy of the traffic counters.
+func (rt *Runtime) Stats() simnet.Stats { return rt.stats }
+
+// makeEmit builds shard sh's emission callback: stamp the sender, let the
+// net model plan the flight time, and record the message in the matching
+// per-delay buffer. Messages to out-of-range peers and messages the model
+// drops are both counted as Dropped, matching the simnet engines.
+func (rt *Runtime) makeEmit(sh *shard) func(simnet.Message) {
+	return func(m simnet.Message) {
+		m.From = sh.sender
+		if m.To < 0 || m.To >= rt.n {
+			sh.dropped++
+			return
+		}
+		var s *rng.Stream
+		if rt.netRand {
+			if !sh.netSeeded {
+				sh.netGen.Seed(rng.Derive(rt.seed, netDomain, uint64(rt.round), uint64(sh.sender)))
+				sh.netSeeded = true
+			}
+			s = sh.netStream
+		}
+		d := rt.net.Plan(rt.round, m, s)
+		if d < 1 {
+			sh.dropped++
+			return
+		}
+		if d > rt.maxDelay {
+			d = rt.maxDelay
+		}
+		sh.sent++
+		sh.byKind[m.Kind]++
+		sh.byDelay[d] = append(sh.byDelay[d], m)
+	}
+}
+
+// fanOut runs f(w) for every shard; w == 0 runs on the calling goroutine.
+// Barriers before and after are the only synchronization in the runtime.
+func (rt *Runtime) fanOut(f func(w int)) {
+	par.Do(rt.shards, f)
+}
+
+// Run executes the given number of rounds and returns the cumulative
+// traffic statistics. It may be called repeatedly; in-flight messages carry
+// over between calls.
+func (rt *Runtime) Run(rounds int) simnet.Stats {
+	for r := 0; r < rounds; r++ {
+		rt.deliver()
+		rt.stepAll()
+		rt.route()
+		rt.round++
+		rt.stats.Rounds++
+	}
+	return rt.stats
+}
+
+// Inbox returns the messages delivered to peer i in the round Run executed
+// last, for post-run inspection. Valid until the next Run call.
+func (rt *Runtime) Inbox(i int) []simnet.Message {
+	return rt.sorted[rt.inOff[i]:rt.inOff[i+1]]
+}
+
+// deliver counting-sorts the slot due this round by destination: parallel
+// per-chunk counts, a two-level prefix sum, and a parallel stable fill —
+// the core engine's scatter idiom applied to message routing.
+func (rt *Runtime) deliver() {
+	slot := rt.round % (rt.maxDelay + 1)
+	buf := rt.slots[slot]
+	if len(buf) == 0 {
+		rt.sorted = rt.sorted[:0]
+		for i := range rt.inOff {
+			rt.inOff[i] = 0
+		}
+		return
+	}
+
+	// Count: shard w counts destinations over its contiguous chunk of buf.
+	chunk := func(w int) (int, int) {
+		return len(buf) * w / rt.shards, len(buf) * (w + 1) / rt.shards
+	}
+	rt.fanOut(func(w int) {
+		sh := &rt.sh[w]
+		for i := range sh.counts {
+			sh.counts[i] = 0
+		}
+		lo, hi := chunk(w)
+		for _, m := range buf[lo:hi] {
+			sh.counts[m.To]++
+		}
+	})
+
+	// Offsets, level 1: per destination-block totals, in parallel. Block b
+	// covers the same id range as shard b's peer cut, so the pass reuses
+	// rt.cut as its block boundaries.
+	rt.fanOut(func(b int) {
+		var tot int32
+		for v := rt.cut[b]; v < rt.cut[b+1]; v++ {
+			for w := 0; w < rt.shards; w++ {
+				tot += rt.sh[w].counts[v]
+			}
+		}
+		rt.sh[b].blockTot = tot
+	})
+
+	// Offsets, level 2: a serial prefix over the per-block totals (tiny),
+	// rewriting each shard's blockTot into its block's start offset, then
+	// each block resolves its own (destination, chunk) cursors in parallel.
+	// Bucket v is partitioned (chunk 0, chunk 1, ...), i.e. in canonical
+	// order, because chunks cover buf in ascending order.
+	var total int32
+	for b := 0; b < rt.shards; b++ {
+		rt.sh[b].blockTot, total = total, total+rt.sh[b].blockTot
+	}
+	rt.fanOut(func(b int) {
+		acc := rt.sh[b].blockTot
+		for v := rt.cut[b]; v < rt.cut[b+1]; v++ {
+			rt.inOff[v] = acc
+			for w := 0; w < rt.shards; w++ {
+				c := rt.sh[w].counts[v]
+				rt.sh[w].counts[v] = acc
+				acc += c
+			}
+		}
+	})
+	rt.inOff[rt.n] = int32(len(buf))
+
+	// Fill: each shard replays its chunk into its disjoint cursor ranges.
+	if cap(rt.sorted) < len(buf) {
+		rt.sorted = make([]simnet.Message, len(buf))
+	}
+	rt.sorted = rt.sorted[:len(buf)]
+	rt.fanOut(func(w int) {
+		sh := &rt.sh[w]
+		lo, hi := chunk(w)
+		for _, m := range buf[lo:hi] {
+			rt.sorted[sh.counts[m.To]] = m
+			sh.counts[m.To]++
+		}
+	})
+
+	rt.slots[slot] = buf[:0]
+}
+
+// stepAll advances every peer one round: shard w walks its peer range in
+// ascending order, pointing the shared cursor stream at each peer.
+func (rt *Runtime) stepAll() {
+	rt.fanOut(func(w int) {
+		sh := &rt.sh[w]
+		for i := rt.cut[w]; i < rt.cut[w+1]; i++ {
+			sh.sender = i
+			sh.netSeeded = false
+			sh.src.node = i
+			rt.step(i, rt.round, rt.sorted[rt.inOff[i]:rt.inOff[i+1]], sh.stream, sh.emit)
+		}
+	})
+}
+
+// route appends the shards' per-delay buffers to the delivery ring in shard
+// order (= global sender order) and merges the traffic counters. Slot
+// (round + d) is never the slot delivered this round since 1 <= d <=
+// maxDelay < ring size.
+func (rt *Runtime) route() {
+	ring := rt.maxDelay + 1
+	for d := 1; d <= rt.maxDelay; d++ {
+		slot := (rt.round + d) % ring
+		for w := range rt.sh {
+			if len(rt.sh[w].byDelay[d]) > 0 {
+				rt.slots[slot] = append(rt.slots[slot], rt.sh[w].byDelay[d]...)
+				rt.sh[w].byDelay[d] = rt.sh[w].byDelay[d][:0]
+			}
+		}
+	}
+	for w := range rt.sh {
+		sh := &rt.sh[w]
+		rt.stats.Sent += sh.sent
+		rt.stats.Dropped += sh.dropped
+		sh.sent = 0
+		sh.dropped = 0
+		for k, c := range sh.byKind {
+			if c != 0 {
+				rt.stats.ByKind[k] += c
+				sh.byKind[k] = 0
+			}
+		}
+	}
+}

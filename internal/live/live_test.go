@@ -1,0 +1,345 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// chatterState is a synthetic protocol for engine tests: every peer sends
+// fan messages to random destinations each round and folds every received
+// message — order-sensitively — into a per-peer digest, so any difference
+// in delivery content or order changes the final digest.
+type chatterState struct {
+	n      int
+	fan    int
+	digest []uint64
+	recv   []int
+}
+
+func newChatter(n, fan int) *chatterState {
+	return &chatterState{n: n, fan: fan, digest: make([]uint64, n), recv: make([]int, n)}
+}
+
+func (c *chatterState) step(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+	for _, m := range inbox {
+		c.recv[node]++
+		h := c.digest[node]
+		h = h*1099511628211 + uint64(m.From)
+		h = h*1099511628211 + uint64(m.A)
+		c.digest[node] = h
+	}
+	for k := 0; k < c.fan; k++ {
+		emit(simnet.Message{To: s.Intn(c.n), Kind: 1, A: int64(round)})
+	}
+}
+
+func (c *chatterState) combined() uint64 {
+	h := uint64(14695981039346656037)
+	for _, d := range c.digest {
+		h = h*1099511628211 + d
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	step := func(int, int, []simnet.Message, *rng.Stream, func(simnet.Message)) {}
+	if _, err := New(Config{N: 0, Step: step}); err == nil {
+		t.Error("accepted n = 0")
+	}
+	if _, err := New(Config{N: 4}); err == nil {
+		t.Error("accepted nil step")
+	}
+	if _, err := New(Config{N: 4, Step: step, Shards: -1}); err == nil {
+		t.Error("accepted negative shards")
+	}
+	for _, net := range []NetModel{
+		FixedLatency{Rounds: 0},
+		GeomLatency{P: 0, Cap: 4},
+		GeomLatency{P: 0.5, Cap: 0},
+		Loss{P: 1},
+		Loss{P: -0.1},
+		EpochChurn{Epoch: 0, DownFrac: 0.1},
+		EpochChurn{Epoch: 3, DownFrac: 1},
+		Loss{P: 0.1, Under: FixedLatency{Rounds: 0}},
+	} {
+		if _, err := New(Config{N: 4, Step: step, Net: net}); err == nil {
+			t.Errorf("accepted invalid net model %#v", net)
+		}
+	}
+}
+
+func TestShardCountBitIdentity(t *testing.T) {
+	// The runtime's headline property: (n, seed, step, net) fully determine
+	// the run; the shard count is invisible. Exercised across every model
+	// family, including the randomized ones whose decisions ride on the
+	// per-(round, sender) derived streams.
+	const n, rounds = 3000, 12
+	models := map[string]NetModel{
+		"sync":    nil,
+		"fixed":   FixedLatency{Rounds: 3},
+		"geom":    GeomLatency{P: 0.6, Cap: 5},
+		"loss":    Loss{P: 0.2},
+		"churn":   EpochChurn{Seed: 9, Epoch: 4, DownFrac: 0.3},
+		"composn": Loss{P: 0.1, Under: GeomLatency{P: 0.5, Cap: 3}},
+	}
+	for name, net := range models {
+		t.Run(name, func(t *testing.T) {
+			type outcome struct {
+				digest uint64
+				stats  simnet.Stats
+			}
+			var ref outcome
+			for _, shards := range []int{1, 2, 8} {
+				st := newChatter(n, 2)
+				rt, err := New(Config{N: n, Seed: 42, Step: st.step, Shards: shards, Net: net})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats := rt.Run(rounds)
+				got := outcome{digest: st.combined(), stats: stats}
+				if shards == 1 {
+					ref = got
+					continue
+				}
+				if got != ref {
+					t.Fatalf("shards=%d diverged from shards=1:\n  %+v\nvs %+v", shards, got, ref)
+				}
+			}
+			if ref.stats.Sent == 0 {
+				t.Fatal("no traffic at all")
+			}
+		})
+	}
+}
+
+func TestMatchesGoroutineEngine(t *testing.T) {
+	// Under the perfect-sync model, the sharded runtime is bit-identical to
+	// the goroutine-per-peer simnet.Live engine when both draw from the
+	// same per-peer streams: same digests, same traffic counters.
+	const n, rounds, seed = 500, 10, 7
+
+	shardSt := newChatter(n, 2)
+	rt, err := New(Config{N: n, Seed: seed, Step: shardSt.step, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardStats := rt.Run(rounds)
+
+	legacySt := newChatter(n, 2)
+	streams := make([]*rng.Stream, n)
+	for i := range streams {
+		streams[i] = rng.New(PeerSeed(seed, i))
+	}
+	eng, err := simnet.NewLiveWithStreams(streams, func(node, round int, inbox []simnet.Message, s *rng.Stream) []simnet.Message {
+		var out []simnet.Message
+		legacySt.step(node, round, inbox, s, func(m simnet.Message) { out = append(out, m) })
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyStats := eng.Run(rounds)
+	// The sharded runtime has one round of messages still in flight that
+	// simnet.Live also leaves in its mailboxes; counters must agree exactly.
+	if shardStats != legacyStats {
+		t.Fatalf("stats diverge:\nsharded %+v\nlegacy  %+v", shardStats, legacyStats)
+	}
+	if shardSt.combined() != legacySt.combined() {
+		t.Fatal("delivery digests diverge between sharded runtime and goroutine engine")
+	}
+}
+
+func TestFixedLatencyDelaysDelivery(t *testing.T) {
+	// A message emitted in round r under FixedLatency{D} arrives at the
+	// start of round r+D, and not before.
+	const d = 3
+	arrived := -1
+	step := func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		if node == 1 && len(inbox) > 0 && arrived == -1 {
+			arrived = round
+		}
+		if node == 0 && round == 0 {
+			emit(simnet.Message{To: 1, Kind: 1})
+		}
+	}
+	rt, err := New(Config{N: 2, Seed: 1, Step: step, Net: FixedLatency{Rounds: d}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Run(d + 2)
+	if arrived != d {
+		t.Fatalf("message sent in round 0 arrived in round %d, want %d", arrived, d)
+	}
+	if stats.Sent != 1 || stats.Dropped != 0 {
+		t.Fatalf("unexpected traffic: %+v", stats)
+	}
+}
+
+func TestLossDropsExpectedFraction(t *testing.T) {
+	const n, rounds, fan = 200, 30, 5
+	st := newChatter(n, fan)
+	rt, err := New(Config{N: n, Seed: 3, Step: st.step, Shards: 2, Net: Loss{P: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Run(rounds)
+	emitted := stats.Sent + stats.Dropped
+	if emitted != int64(n*rounds*fan) {
+		t.Fatalf("emitted %d, want %d", emitted, n*rounds*fan)
+	}
+	frac := float64(stats.Dropped) / float64(emitted)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("dropped fraction %.3f far from 0.3", frac)
+	}
+}
+
+func TestEpochChurnIsCorrelated(t *testing.T) {
+	churn := EpochChurn{Seed: 5, Epoch: 8, DownFrac: 0.4}
+	const n = 400
+	// Down-ness is constant within an epoch and roughly DownFrac on average.
+	down := 0
+	for p := 0; p < n; p++ {
+		for r := 1; r < churn.Epoch; r++ {
+			if churn.Down(r, p) != churn.Down(0, p) {
+				t.Fatalf("peer %d flipped down-ness mid-epoch", p)
+			}
+		}
+		if churn.Down(0, p) {
+			down++
+		}
+	}
+	if down < n/4 || down > 11*n/20 {
+		t.Fatalf("%d/%d peers down, want about %.0f", down, n, churn.DownFrac*float64(n))
+	}
+
+	// On the runtime: within the first epoch, a peer receives messages iff
+	// neither it nor its (fixed) sender is down — all-or-nothing, the
+	// signature of correlated loss.
+	st := newChatter(n, 0)
+	ring := func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		st.step(node, round, inbox, s, emit)
+		emit(simnet.Message{To: (node + 1) % n, Kind: 1})
+	}
+	rt, err := New(Config{N: n, Seed: 6, Step: ring, Shards: 2, Net: churn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := churn.Epoch - 1 // stay within epoch 0; last sends undelivered
+	rt.Run(rounds)
+	for p := 0; p < n; p++ {
+		sender := (p - 1 + n) % n
+		want := 0
+		if !churn.Down(0, p) && !churn.Down(0, sender) {
+			want = rounds - 1
+		}
+		if st.recv[p] != want {
+			t.Fatalf("peer %d received %d messages, want %d (down=%v, sender down=%v)",
+				p, st.recv[p], want, churn.Down(0, p), churn.Down(0, sender))
+		}
+	}
+}
+
+func TestGeomLatencyTailIsCapped(t *testing.T) {
+	// All mass beyond Cap lands on Cap: nothing is lost, everything arrives
+	// within Cap rounds of being sent.
+	const n, rounds = 100, 20
+	st := newChatter(n, 3)
+	rt, err := New(Config{N: n, Seed: 11, Step: st.step, Shards: 2, Net: GeomLatency{P: 0.4, Cap: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Run(rounds)
+	if stats.Dropped != 0 {
+		t.Fatalf("geometric latency dropped %d messages", stats.Dropped)
+	}
+	if stats.Sent != int64(n*rounds*3) {
+		t.Fatalf("sent %d, want %d", stats.Sent, n*rounds*3)
+	}
+}
+
+func TestOverlappingRuntimes(t *testing.T) {
+	// Two sharded runtimes running concurrently must not interfere — the
+	// -race build of this test is the live-runtime race check.
+	run := func() uint64 {
+		st := newChatter(600, 2)
+		rt, err := New(Config{N: 600, Seed: 21, Step: st.step, Shards: 4})
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		rt.Run(8)
+		return st.combined()
+	}
+	var wg sync.WaitGroup
+	digests := make([]uint64, 4)
+	for i := range digests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			digests[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("concurrent runtime %d diverged", i)
+		}
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	st := newChatter(10, 1)
+	rt, err := New(Config{N: 10, Seed: 1, Step: st.step, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != 10 || rt.Shards() != 3 || rt.Round() != 0 {
+		t.Fatalf("accessors: n=%d shards=%d round=%d", rt.N(), rt.Shards(), rt.Round())
+	}
+	rt.Run(2)
+	if rt.Round() != 2 {
+		t.Fatalf("round after Run(2): %d", rt.Round())
+	}
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += len(rt.Inbox(i))
+	}
+	if total != 10 {
+		t.Fatalf("inboxes of the last round hold %d messages, want 10", total)
+	}
+}
+
+func TestShardsClampedToN(t *testing.T) {
+	st := newChatter(3, 1)
+	rt, err := New(Config{N: 3, Seed: 1, Step: st.step, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Shards() != 3 {
+		t.Fatalf("shards not clamped: %d", rt.Shards())
+	}
+	rt.Run(3)
+}
+
+func ExampleRuntime() {
+	// Three peers flood-fill a token: whoever holds it forwards it to the
+	// next peer. Six rounds pass it all the way around twice.
+	holder := []bool{true, false, false}
+	step := func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		for range inbox {
+			holder[node] = true
+		}
+		if holder[node] {
+			holder[node] = false
+			emit(simnet.Message{To: (node + 1) % 3, Kind: 1})
+		}
+	}
+	rt, _ := New(Config{N: 3, Seed: 1, Step: step})
+	stats := rt.Run(6)
+	fmt.Println(stats.Sent, "messages")
+	// Output: 6 messages
+}

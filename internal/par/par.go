@@ -1,0 +1,28 @@
+// Package par holds the one concurrency primitive the engines share: a
+// deterministic fork-join fan-out over a fixed worker count.
+package par
+
+import "sync"
+
+// Do runs f(w) for w in [0, workers); w == 0 runs inline on the calling
+// goroutine, so workers == 1 spawns nothing (the serial paths stay free of
+// scheduling). Do returns after every worker finishes — the barriers on
+// both sides are the only synchronization the flat engines rely on: each
+// worker touches only its own scratch plus disjoint regions of shared
+// arrays, and the barrier publishes the writes.
+func Do(workers int, f func(w int)) {
+	if workers == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	f(0)
+	wg.Wait()
+}

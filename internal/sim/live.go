@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/gossip"
+	"repro/internal/live"
+	"repro/internal/stats"
+)
+
+// LiveRow reports one configuration of the live-runtime experiment.
+type LiveRow struct {
+	N            int     `json:"n"`
+	Model        string  `json:"model"`
+	Shards       int     `json:"shards"`
+	DatingRounds int     `json:"dating_rounds"`
+	Completed    bool    `json:"completed"`
+	SecPerDating float64 `json:"seconds_per_dating_round"`
+	MsgsPerSec   float64 `json:"messages_per_second"`
+}
+
+// LiveSweepResult is the live experiment of the registry: a scale sweep of
+// full message-level spreading runs under the perfect-sync model, followed
+// by a latency/loss/churn sensitivity table at a fixed n.
+type LiveSweepResult struct {
+	Rows []LiveRow `json:"rows"`
+}
+
+// Table renders the sweep in the repository's table shape.
+func (r LiveSweepResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Live message runtime — full-spread scale sweep + network-model sensitivity (unit bandwidth)",
+		"n", "model", "shards", "dating rounds", "completed", "s/dating round", "msg/s",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.N),
+			row.Model,
+			fmt.Sprint(row.Shards),
+			fmt.Sprint(row.DatingRounds),
+			fmt.Sprint(row.Completed),
+			fmt.Sprintf("%.4f", row.SecPerDating),
+			fmt.Sprintf("%.3g", row.MsgsPerSec),
+		)
+	}
+	return t
+}
+
+// liveModel pairs a sensitivity-table row label with its network model.
+type liveModel struct {
+	name string
+	net  live.NetModel
+}
+
+// liveModels is the sensitivity axis: the paper-faithful synchronous
+// network, then progressively more hostile conditions. Spread time should
+// degrade gracefully, never collapse — the protocol is oblivious, so no
+// message is load-bearing.
+func liveModels(seed uint64) []liveModel {
+	return []liveModel{
+		{"sync", nil},
+		{"latency-2", live.FixedLatency{Rounds: 2}},
+		{"latency-4", live.FixedLatency{Rounds: 4}},
+		{"geom-p0.5", live.GeomLatency{P: 0.5, Cap: 8}},
+		{"loss-1%", live.Loss{P: 0.01}},
+		{"loss-10%", live.Loss{P: 0.10}},
+		{"churn-10%", live.EpochChurn{Seed: seed + 1, Epoch: 6, DownFrac: 0.10}},
+	}
+}
+
+// RunLiveScaled is the registry entry point for the live-runtime
+// experiment. Quick scale sweeps n up to 10^4 with a sensitivity table at
+// n=2000 (seconds); paper scale sweeps n up to 10^6 with the sensitivity
+// table at n=10^5 (minutes). The workers knob sets the runtime's shard
+// count — the live runtime is bit-identical for every shard count, so
+// workers only changes wall-clock time (the timing columns).
+func RunLiveScaled(scale Scale, seed uint64, workers int) (LiveSweepResult, error) {
+	ns := []int{1_000, 10_000}
+	nSens := 2_000
+	if scale == ScalePaper {
+		ns = []int{10_000, 100_000, 1_000_000}
+		nSens = 100_000
+	}
+	var res LiveSweepResult
+	for _, n := range ns {
+		row, err := runLiveRow(n, "sync", nil, workers, seed)
+		if err != nil {
+			return LiveSweepResult{}, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, m := range liveModels(seed) {
+		row, err := runLiveRow(nSens, m.name, m.net, workers, seed)
+		if err != nil {
+			return LiveSweepResult{}, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runLiveRow executes one full message-level spreading run and times it.
+func runLiveRow(n int, model string, net live.NetModel, shards int, seed uint64) (LiveRow, error) {
+	start := time.Now()
+	r, err := gossip.RunLive(gossip.LiveConfig{
+		Profile: bandwidth.Homogeneous(n, 1),
+		Seed:    seed,
+		Engine:  gossip.LiveSharded,
+		Shards:  shards,
+		Net:     net,
+	})
+	if err != nil {
+		return LiveRow{}, fmt.Errorf("sim: live n=%d model=%s: %w", n, model, err)
+	}
+	sec := time.Since(start).Seconds()
+	row := LiveRow{
+		N:            n,
+		Model:        model,
+		Shards:       shards,
+		DatingRounds: r.DatingRounds,
+		Completed:    r.Completed,
+	}
+	if r.DatingRounds > 0 {
+		row.SecPerDating = sec / float64(r.DatingRounds)
+	}
+	if sec > 0 {
+		row.MsgsPerSec = float64(r.Traffic.Sent) / sec
+	}
+	return row, nil
+}
+
+// LiveBenchRow reports one engine configuration of the live benchmark.
+type LiveBenchRow struct {
+	Engine             string  `json:"engine"`
+	Shards             int     `json:"shards"`
+	DatingRounds       int     `json:"dating_rounds"`
+	SecPerDating       float64 `json:"seconds_per_dating_round"`
+	MsgsPerSec         float64 `json:"messages_per_second"`
+	SpeedupVsGoroutine float64 `json:"speedup_vs_goroutine,omitempty"`
+}
+
+// LiveBenchResult is the cmd/datebench live mode: the sharded runtime at
+// shard counts {1, shards} — plus the legacy goroutine-per-peer engine
+// when baseline is set — spreading one rumor to every peer under the
+// perfect-sync model. All runs share per-peer stream derivation, so their
+// informed-count trajectories must be bit-identical; Identical reports
+// that check (a cheap cross-engine smoke test on every benchmark run).
+type LiveBenchResult struct {
+	N         int            `json:"n"`
+	Identical bool           `json:"identical_across_engines"`
+	Rows      []LiveBenchRow `json:"rows"`
+}
+
+// Table renders the benchmark in the repository's table shape.
+func (r LiveBenchResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Live engines — full spread, n=%d, perfect sync (identical trajectories: %v)", r.N, r.Identical),
+		"engine", "shards", "dating rounds", "s/dating round", "msg/s", "speedup",
+	)
+	for _, row := range r.Rows {
+		speedup := ""
+		if row.SpeedupVsGoroutine > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.SpeedupVsGoroutine)
+		}
+		t.AddRow(
+			row.Engine,
+			fmt.Sprint(row.Shards),
+			fmt.Sprint(row.DatingRounds),
+			fmt.Sprintf("%.4f", row.SecPerDating),
+			fmt.Sprintf("%.3g", row.MsgsPerSec),
+			speedup,
+		)
+	}
+	return t
+}
+
+// RunLiveBench profiles message-level spreading at a single n: the sharded
+// runtime at 1 and shards workers, and optionally the legacy goroutine
+// engine as the baseline the speedup column is relative to. It returns an
+// error if any run fails; trajectory disagreement is reported in
+// Identical, not as an error, so the caller decides whether it gates.
+func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, error) {
+	if n <= 0 {
+		return LiveBenchResult{}, fmt.Errorf("sim: live bench needs positive n, got %d", n)
+	}
+	type runSpec struct {
+		engine string
+		cfg    gossip.LiveConfig
+	}
+	base := gossip.LiveConfig{Profile: bandwidth.Homogeneous(n, 1), Seed: seed}
+	specs := []runSpec{}
+	shardCounts := []int{1}
+	if shards > 1 {
+		shardCounts = append(shardCounts, shards)
+	}
+	for _, sc := range shardCounts {
+		cfg := base
+		cfg.Engine, cfg.Shards = gossip.LiveSharded, sc
+		specs = append(specs, runSpec{"sharded", cfg})
+	}
+	if baseline {
+		cfg := base
+		cfg.Engine, cfg.Concurrent = gossip.LiveGoroutine, true
+		specs = append(specs, runSpec{"goroutine", cfg})
+	}
+
+	res := LiveBenchResult{N: n, Identical: true}
+	var ref []int
+	var goroutineSec float64
+	for i, spec := range specs {
+		start := time.Now()
+		r, err := gossip.RunLive(spec.cfg)
+		if err != nil {
+			return LiveBenchResult{}, err
+		}
+		sec := time.Since(start).Seconds()
+		if !r.Completed {
+			return LiveBenchResult{}, fmt.Errorf("sim: live bench %s/%d incomplete after %d dating rounds",
+				spec.engine, spec.cfg.Shards, r.DatingRounds)
+		}
+		if i == 0 {
+			ref = r.History
+		} else if !slices.Equal(r.History, ref) {
+			res.Identical = false
+		}
+		row := LiveBenchRow{
+			Engine:       spec.engine,
+			Shards:       spec.cfg.Shards,
+			DatingRounds: r.DatingRounds,
+			SecPerDating: sec / float64(r.DatingRounds),
+			MsgsPerSec:   float64(r.Traffic.Sent) / sec,
+		}
+		if spec.engine == "goroutine" {
+			goroutineSec = row.SecPerDating
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if goroutineSec > 0 {
+		for i := range res.Rows {
+			if res.Rows[i].SecPerDating > 0 {
+				res.Rows[i].SpeedupVsGoroutine = goroutineSec / res.Rows[i].SecPerDating
+			}
+		}
+	}
+	return res, nil
+}

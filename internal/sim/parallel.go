@@ -53,12 +53,15 @@ func forEach(jobs, workers int, run func(job int) error) error {
 		workers = jobs
 	}
 	if workers <= 1 {
+		// Same contract as the concurrent path: every job runs, the
+		// lowest-index error wins.
+		var first error
 		for j := 0; j < jobs; j++ {
-			if err := run(j); err != nil {
-				return err
+			if err := run(j); err != nil && first == nil {
+				first = err
 			}
 		}
-		return nil
+		return first
 	}
 	errs := make([]error, jobs)
 	var next atomic.Int64

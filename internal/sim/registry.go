@@ -12,8 +12,10 @@ type Experiment struct {
 	// repetitions across workers goroutines where the experiment supports
 	// harness parallelism (see parallel.go); results are byte-identical
 	// for every worker count. Experiments without repetition parallelism
-	// (and the engine benchmark, which manages its own workers) accept the
-	// knob and run serially.
+	// accept the knob and run serially. The two benchmarks are special:
+	// engine sweeps its own internal worker counts (the knob is ignored),
+	// live feeds the knob to its runtime as the shard count — either way
+	// only their timing columns vary run to run.
 	Run func(scale Scale, seed uint64, workers int) (*stats.Table, error)
 }
 
@@ -53,5 +55,6 @@ func Registry() []Experiment {
 		{"loads", "E12: worst per-node loads (bandwidth honesty)", parTabler(RunLoadViolationPar)},
 		{"dynamicdht", "E13: spreading over a churning DHT", parTabler(RunDynamicDHTPar)},
 		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
+		{"live", "sharded message runtime: scale sweep + latency/loss sensitivity", parTabler(RunLiveScaled)},
 	}
 }

@@ -18,6 +18,12 @@ type StepFunc func(node, round int, inbox []Message, s *rng.Stream) []Message
 // realized with WaitGroups; the coordinator routes messages between rounds
 // in peer order so that a Live run and a sequential run with the same seed
 // produce identical traffic.
+//
+// Live demonstrates that the protocols run on genuinely concurrent peers,
+// but one goroutine (and one mailbox slice) per peer per round does not
+// scale past ~10^5 peers. The sharded runtime in internal/live executes the
+// same step functions with a fixed worker pool and flat message buffers —
+// use it for large n or for non-synchronous network models.
 type Live struct {
 	n       int
 	step    StepFunc
@@ -35,11 +41,30 @@ func NewLive(n int, seed uint64, step StepFunc) (*Live, error) {
 	if step == nil {
 		return nil, fmt.Errorf("simnet: live engine needs a step function")
 	}
+	return NewLiveWithStreams(rng.NewStreams(seed, n), step)
+}
+
+// NewLiveWithStreams creates a live engine over caller-provided per-peer
+// streams (one per peer). It exists so other runtimes — in particular the
+// sharded engine in internal/live — can be replayed on this engine with
+// identical randomness, making cross-engine runs exactly comparable.
+func NewLiveWithStreams(streams []*rng.Stream, step StepFunc) (*Live, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("simnet: live engine needs streams")
+	}
+	for i, s := range streams {
+		if s == nil {
+			return nil, fmt.Errorf("simnet: peer %d has a nil stream", i)
+		}
+	}
+	if step == nil {
+		return nil, fmt.Errorf("simnet: live engine needs a step function")
+	}
 	return &Live{
-		n:       n,
+		n:       len(streams),
 		step:    step,
-		streams: rng.NewStreams(seed, n),
-		inbox:   make([][]Message, n),
+		streams: streams,
+		inbox:   make([][]Message, len(streams)),
 	}, nil
 }
 

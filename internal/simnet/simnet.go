@@ -12,6 +12,12 @@
 //     the sequential engine because each peer owns a private random stream
 //     and the coordinator routes messages in peer order.
 //
+// For million-peer runs — or for latency, loss and churn network models —
+// use the sharded runtime in internal/live instead: it executes the same
+// step functions over the same Message/Stats types with a fixed worker
+// pool, flat reusable buffers, and a pluggable NetModel, and is
+// bit-identical across shard counts.
+//
 // Payloads are two int64 words (enough for "the address of your date" plus a
 // tag — the paper stresses that control messages are tiny, about one IP
 // address each).

@@ -5,6 +5,7 @@ import (
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/gossip"
+	"repro/internal/live"
 	"repro/internal/overlay"
 	"repro/internal/rng"
 	"repro/internal/simnet"
@@ -61,12 +62,33 @@ type (
 	// reusable scratch; its output is independent of its worker count.
 	Arranger = core.Arranger
 
-	// LiveConfig parameterizes fully message-level spreading on the
-	// goroutine-per-peer engine.
+	// LiveConfig parameterizes fully message-level spreading; its Engine
+	// field picks the goroutine-per-peer engine or the sharded runtime.
 	LiveConfig = gossip.LiveConfig
 
 	// LiveResult reports a message-level spreading run.
 	LiveResult = gossip.LiveResult
+
+	// LiveEngine selects the message-level execution substrate.
+	LiveEngine = gossip.LiveEngine
+
+	// NetModel decides message latency and loss in sharded live runs.
+	NetModel = live.NetModel
+
+	// NetSync is the paper's synchronous reliable network (the default).
+	NetSync = live.Sync
+
+	// NetFixedLatency delivers every message after a fixed number of rounds.
+	NetFixedLatency = live.FixedLatency
+
+	// NetGeomLatency gives each message an independent geometric delay.
+	NetGeomLatency = live.GeomLatency
+
+	// NetLoss drops each message independently with fixed probability.
+	NetLoss = live.Loss
+
+	// NetEpochChurn takes whole peers down for whole epochs (correlated loss).
+	NetEpochChurn = live.EpochChurn
 
 	// MultiRumorConfig parameterizes spreading of several rumors injected
 	// over time.
@@ -94,6 +116,16 @@ const (
 	FairPull     = gossip.FairPull
 	Push         = gossip.Push
 	Dating       = gossip.Dating
+)
+
+// Message-level execution substrates for SpreadRumorLive.
+const (
+	// LiveGoroutine runs one goroutine per peer (the zero value).
+	LiveGoroutine = gossip.LiveGoroutine
+	// LiveSharded runs the sharded internal/live runtime: scales to
+	// millions of peers, bit-identical for every shard count, and accepts
+	// a NetModel for latency, loss and churn.
+	LiveSharded = gossip.LiveSharded
 )
 
 // NewStream returns a deterministic random stream seeded with seed.
@@ -181,8 +213,12 @@ func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {
 	return gossip.Run(cfg, s)
 }
 
-// SpreadRumorLive runs rumor spreading as a real message protocol with one
-// goroutine per peer (the dating handshake over channels).
+// SpreadRumorLive runs rumor spreading as a real message protocol — every
+// offer, answer and payload an actual routed message. cfg.Engine picks the
+// substrate: one goroutine per peer (LiveGoroutine, the default) or the
+// sharded million-peer runtime (LiveSharded), which also accepts a
+// NetModel for latency, loss and churn. Under the perfect-sync model every
+// substrate yields bit-identical results for the same seed.
 func SpreadRumorLive(cfg LiveConfig) (LiveResult, error) {
 	return gossip.RunLive(cfg)
 }
