@@ -18,20 +18,22 @@
 // engine mode times one dating round at a fixed large n (default one
 // million nodes) on the serial path and on the parallel engine at 2, 4,
 // ..., -workers workers, reporting seconds per round, request throughput
-// and speedup. -json emits the result as machine-readable JSON so perf
-// trajectory points (BENCH_*.json) can be recorded across versions:
+// and speedup. -json emits the result as machine-readable JSON — including
+// the generic Report-derived "points" records shared by every BENCH_*.json
+// writer — so perf trajectory points can be recorded across versions:
 //
 //	datebench -mode engine -n 1000000 -rounds 5 -workers 8 -json > BENCH_engine.json
 //
 // live mode runs full message-level rumor spreading (every offer, answer
-// and payload an actual routed message) to completion on the sharded
-// internal/live runtime at 1 and -shards workers, plus — with -baseline,
-// the default — the legacy goroutine-per-peer engine. All runs derive
-// per-peer randomness identically, so their informed-count trajectories
-// must agree bit for bit; datebench exits non-zero if they do not, which
-// makes every benchmark run a cross-engine correctness check (CI runs it
-// at n=100k). -n defaults to 100000 in this mode; disable -baseline before
-// raising n far beyond that, goroutine-per-peer does not scale.
+// and payload an actual routed message) to completion through the unified
+// repro.Run entrypoint, on the sharded internal/live runtime at 1 and
+// -shards workers, plus — with -baseline, the default — the legacy
+// goroutine-per-peer engine. All runs derive per-peer randomness
+// identically, so their informed-count trajectories must agree bit for
+// bit; datebench exits non-zero if they do not, which makes every
+// benchmark run a cross-engine correctness check (CI runs it at n=100k).
+// -n defaults to 100000 in this mode; disable -baseline before raising n
+// far beyond that, goroutine-per-peer does not scale.
 //
 //	datebench -mode live -n 100000 -shards 2 -json > BENCH_live.json
 package main

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	rumorbench [-scale quick|paper] [-seed N] [-par N] [-csv]
+//	rumorbench [-scale quick|paper] [-seed N] [-par N] [-csv] [-json]
 //
 // -par fans the independent spreading repetitions across N goroutines
 // (default GOMAXPROCS). Repetition seeds are derived from (seed, n,
 // algorithm, repetition), so the table is byte-identical for every -par
 // value — parallelism can never change published numbers.
+//
+// -json skips the figure table and instead runs every algorithm once at
+// the scale's largest n through the unified repro.Run entrypoint, emitting
+// the generic Report-derived bench points (rounds, messages, worst
+// per-node loads, wall time) that all BENCH_*.json writers share.
 //
 // The paper's reading of the result: the ordering from fastest to slowest
 // is PUSH&PULL, fair PUSH&PULL, PULL, fair PULL, PUSH, dating — but the
@@ -21,12 +26,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"repro/internal/gossip"
+	"repro/internal/run"
 	"repro/internal/sim"
 )
 
@@ -35,12 +42,21 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root random seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers (results identical for any value)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit one unified-runner bench point per algorithm as JSON")
 	flag.Parse()
 
 	scale, err := sim.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := emitPoints(scale, *seed, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	res, err := sim.RunFigure2Par(scale, *seed, *par)
 	if err != nil {
@@ -60,4 +76,45 @@ func main() {
 		fmt.Printf("\nAt n=%d: dating/push = %.2f, dating/fair-pull = %.2f (paper: < 2).\n",
 			last.N, d/p, d/fp)
 	}
+}
+
+// emitPoints runs every algorithm once at the scale's largest n through
+// the unified runner and writes the generic bench points, each annotated
+// with the worst per-node loads the run observed (the dating service stays
+// at the profile bound; the unfair baselines do not).
+func emitPoints(scale sim.Scale, seed uint64, workers int) error {
+	type algoPoint struct {
+		Algorithm  string         `json:"algorithm"`
+		MaxInLoad  int            `json:"max_in_load"`
+		MaxOutLoad int            `json:"max_out_load"`
+		Point      sim.BenchPoint `json:"point"`
+	}
+	n := 10_000
+	if scale == sim.ScalePaper {
+		n = 100_000
+	}
+	points := make([]algoPoint, 0, len(gossip.Algorithms()))
+	for _, algo := range gossip.Algorithms() {
+		rep, err := run.Run(gossip.Config{Algorithm: algo, N: n},
+			run.WithSeed(seed), run.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		if !rep.Completed {
+			return fmt.Errorf("%v at n=%d did not complete in %d rounds", algo, n, rep.Rounds)
+		}
+		points = append(points, algoPoint{
+			Algorithm:  algo.String(),
+			MaxInLoad:  rep.MaxInLoad,
+			MaxOutLoad: rep.MaxOutLoad,
+			Point:      sim.PointFromReport(n, rep),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"experiment": "rumor-algorithms",
+		"seed":       seed,
+		"result":     points,
+	})
 }

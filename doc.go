@@ -13,7 +13,54 @@
 // induces — which is what makes it practical: unlike classical PUSH/PULL
 // gossip, it never needs the ability to pick a peer uniformly at random.
 //
-// This package is the public facade over the implementation packages:
+// # The unified Run API
+//
+// Every protocol of the repository runs through one seed-first entrypoint:
+//
+//	rep, err := repro.Run(repro.RumorConfig{N: 1000, Algorithm: repro.Dating},
+//	    repro.WithSeed(42), repro.WithWorkers(8))
+//	fmt.Println(rep.Rounds, rep.Completed, rep.Messages)
+//
+// A protocol config — RumorConfig, MultiRumorConfig, LiveConfig,
+// MongerConfig, StorageConfig, HandshakeConfig — is a Spec, and the axes
+// orthogonal to the protocol ride as functional options:
+//
+//   - WithSeed roots every random stream of the run. Streams are derived
+//     internally with the repository's one SplitMix64 scheme, one domain
+//     tag per protocol, so protocols sharing a seed draw from disjoint
+//     stream families and a Report is a pure function of (spec, seed).
+//   - WithWorkers sizes the run's worker budget — a shared token pool
+//     (internal/par.Budget) that the dating rounds draw spare workers from
+//     and that the sharded live runtime uses as its shard count. Because
+//     every budget-fed engine derives randomness per unit of work rather
+//     than per worker, the budget is a pure speed knob: bit-identical
+//     reports at every value.
+//   - WithEngine picks the execution substrate for live runs (sharded by
+//     default, goroutine-per-peer on request); under the perfect-sync
+//     network both substrates produce the identical report.
+//   - WithNet plugs a network model into live runs: NetFixedLatency,
+//     NetGeomLatency, NetLoss, NetEpochChurn, and NetRingLatency — the
+//     asymmetric model whose per-pair latency is the ring distance in a
+//     DHT-style embedding (UniformRingEmbedding builds one).
+//   - WithTrace replays the per-round trajectory to an observer once the
+//     run completes (for live observation, use a protocol-level hook such
+//     as RumorConfig.OnRound).
+//
+// All protocols emit the same Report (rounds, per-round trajectory and
+// message counts, totals, worst per-node loads, wall time), with the
+// protocol-native result preserved in Report.Detail. The experiment
+// registry's "protocols" entry, the CLIs and the BENCH_*.json writers all
+// consume reports generically.
+//
+// The legacy per-protocol entrypoints (SpreadRumor, SpreadRumorLive,
+// SpreadMultiRumor, Monger, Replicate) remain as thin deprecated wrappers
+// for one release; the seed-compatibility tests pin Run's output
+// bit-for-bit against them.
+//
+// # Below the runner
+//
+// The package is the facade over the implementation layers, which remain
+// available for round-level work:
 //
 //   - the dating service itself (Algorithm 1), flat and message-level;
 //   - rumor spreading on top of it, plus the five classical baselines
@@ -26,7 +73,7 @@
 //   - the experiment harness regenerating both figures of the paper's
 //     evaluation and the extension experiments listed in DESIGN.md.
 //
-// # Quick start
+// Single rounds:
 //
 //	profile := repro.UnitBandwidth(1000)          // n nodes, bin = bout = 1
 //	sel, _ := repro.Uniform(1000)                 // selection distribution
@@ -35,82 +82,55 @@
 //	res := svc.RunRound(s)                        // one round of Algorithm 1
 //	fmt.Println(len(res.Dates), "dates arranged") // ≈ 0.47 * n
 //
-// To spread a rumor:
+// # Worker-count-independent engines
 //
-//	out, _ := repro.SpreadRumor(repro.RumorConfig{N: 1000, Algorithm: repro.Dating}, s)
-//	fmt.Println(out.Rounds, "rounds")             // O(log n)
-//
-// # Parallel rounds
-//
-// At large n a round is embarrassingly parallel: the scatter step is
-// independent per sender and the match step independent per rendezvous.
-// DatingService.RunRoundParallel shards both steps across worker
-// goroutines, each drawing from its own SplitMix64-derived stream, and is
-// exactly reproducible for a fixed (seed, workers) pair — same dates, same
-// order, under any goroutine schedule:
-//
-//	streams := repro.NewStreams(42, 8)            // one stream per worker
-//	res, err := svc.RunRoundParallel(streams, 8)  // deterministic given (42, 8)
-//
-// RunParallelRound wraps the stream derivation for one-shot rounds, and
-// RumorConfig.Workers runs the dating-based spreader on the parallel
-// engine. cmd/datebench's engine mode benchmarks serial versus parallel
-// rounds at million-node scale.
-//
-// # Worker-count-independent arranging
-//
-// The supply/demand interface goes one step further. An Arranger
-// (NewArranger) draws its randomness not from one stream per worker but
-// from streams derived per unit of work — SplitMix64(seed, scatterDomain,
-// node) for each node's request scatter and SplitMix64(seed, matchDomain,
-// rendezvous) for each rendezvous's matching, with two fixed domain tags
-// keeping the streams disjoint even when a node id equals a rendezvous id
-// — so whichever worker processes a node or bucket draws exactly the same
-// values. Arrange(out, in, seed, workers) is
-// therefore bit-for-bit identical for every workers count: parallelism is
-// purely a speed knob. StorageConfig.Workers and the churning-DHT
-// experiment ride on this.
-//
-// The same derivation scheme is ported to the profile round path as
-// DatingService.RunRoundSeeded(seed, workers), which arranges exactly the
-// dates of Arranger.Arrange(profile.Out, profile.In, seed, ·) and makes
-// RumorConfig.Workers a pure speed knob as well: a spreading run is
-// bit-identical for every Workers >= 1. The reseeding (a Derive chain plus
-// a SplitMix64 state expansion per node and per non-empty rendezvous,
-// about six extra SplitMix64 steps per node per round) costs about 25% of
-// a serial unit-bandwidth round at n=100k — measured by
-// BenchmarkSeededRound in internal/core.
+// The engines underneath Run all share one property: their randomness is
+// derived per *unit of work*, not per worker. An Arranger (NewArranger)
+// seeds one stream per requesting node in the scatter pass
+// (SplitMix64(seed, scatterDomain, node)) and one per rendezvous bucket in
+// the match pass (SplitMix64(seed, matchDomain, rendezvous)), so whichever
+// worker processes a node or bucket draws exactly the same values:
+// Arrange(out, in, seed, workers) is bit-for-bit identical for every
+// workers count. The same scheme is ported to the profile round path as
+// DatingService.RunRoundSeeded(seed, workers), and ArrangeShared /
+// RunRoundShared draw the worker count from a shared par.Budget instead of
+// a fixed knob — which is how a Run's rounds, and the experiment harness's
+// tail jobs, soak up idle cores without being able to change a number.
+// (The older DatingService.RunRoundParallel, whose output depends on
+// (seed, workers), remains for engine benchmarking.)
 //
 // # The sharded live-message runtime
 //
-// SpreadRumorLive executes the dating handshake as a real message
-// protocol: every offer, answer and payload is an individually routed
-// message and each peer's only state is its rumor bit. Two substrates run
-// the same step code. LiveGoroutine is the demonstrational engine — one
-// goroutine per peer, barrier-synchronized rounds. LiveSharded is the
-// production-scale runtime (internal/live): a fixed pool of shard workers
-// owning contiguous peer ranges, messages counting-sorted between rounds
-// through flat reusable buffers, per-peer streams seeded
-// SplitMix64(seed, peerDomain, peer). Runs are bit-identical for every
-// shard count, and — because both substrates share the per-peer stream
-// derivation — across engines too. A 10^6-peer spread completes in tens of
-// seconds (examples/livescale); at n=100k the sharded runtime is ~25x
-// faster than goroutine-per-peer (BENCH_live.json).
+// LiveConfig runs the dating handshake as a real message protocol: every
+// offer, answer and payload is an individually routed message and each
+// peer's only state is its rumor bit. Two substrates run the same step
+// code. The goroutine engine (WithEngine(LiveGoroutine)) is the
+// demonstrational one — one goroutine per peer, barrier-synchronized
+// rounds. The sharded runtime (internal/live, the default under Run) is
+// the production-scale one: a fixed pool of shard workers owning
+// contiguous peer ranges, messages counting-sorted between rounds through
+// flat reusable buffers, per-peer streams seeded SplitMix64(seed,
+// peerDomain, peer). Runs are bit-identical for every shard count and
+// across engines. A 10^6-peer spread completes in tens of seconds
+// (examples/livescale); at n=100k the sharded runtime is ~25x faster than
+// goroutine-per-peer (BENCH_live.json).
 //
-// LiveConfig.Net plugs a network model into the sharded runtime:
-// NetFixedLatency and NetGeomLatency keep messages in flight for several
-// rounds, NetLoss drops them iid, NetEpochChurn takes whole peers down for
-// whole epochs (correlated loss). Model randomness derives from
-// SplitMix64(seed, netDomain, round, sender), preserving shard-count
-// independence. The handshake absorbs all of it — payloads and answers
-// act on arrival, control messages that miss their matching round wait
-// for the rendezvous's next one — so hostile networks slow spreading
-// gracefully rather than wedging it; the hetsim "live" experiment tables
-// the sensitivity.
+// WithNet plugs a network model into the sharded runtime: NetFixedLatency
+// and NetGeomLatency keep messages in flight for several rounds, NetLoss
+// drops them iid, NetEpochChurn takes whole peers down for whole epochs
+// (correlated loss), and NetRingLatency delays each pair by its ring
+// distance in a DHT-style embedding — the asymmetric model, under which
+// *which* rendezvous a request lands on decides how fast its handshake
+// completes. Model randomness derives from SplitMix64(seed, netDomain,
+// round, sender), preserving shard-count independence. The handshake
+// absorbs all of it — payloads and answers act on arrival, control
+// messages that miss their matching round wait for the rendezvous's next
+// one — so hostile networks slow spreading gracefully rather than wedging
+// it; the hetsim "live" experiment tables the sensitivity.
 //
 // # The repetition-parallel experiment harness
 //
-// Above single rounds, the experiment harness behind cmd/hetsim,
+// Above single runs, the experiment harness behind cmd/hetsim,
 // cmd/datebench and cmd/rumorbench parallelizes at the repetition grain:
 // every (overlay, repetition) cell of a figure sweep is an independent
 // simulation, run as one job with its own Service on its own goroutine.
@@ -123,8 +143,11 @@
 // Figure 2 — never "the next value of a shared generator". Combined with
 // fixed-order aggregation after the fan-in barrier, published tables are
 // byte-identical for every worker count; the -par flag of the CLIs only
-// changes wall-clock time. Golden tests pin the quick-scale tables by hash
-// so harness parallelism can never silently change published numbers.
+// changes wall-clock time. The harness workers and the engines inside
+// jobs share one par.Budget, so when a sweep's tail leaves cores idle the
+// remaining jobs' rounds parallelize inside — still without moving a
+// number. Golden tests pin the quick-scale tables by hash so harness
+// parallelism can never silently change published results.
 //
 // See the runnable programs under examples/ and the reproduction CLIs under
 // cmd/.

@@ -21,6 +21,22 @@ func ExampleNewDatingService() {
 	// Output: true
 }
 
+// The unified runner: one entrypoint for every protocol, a seed instead of
+// a stream, and a worker budget that can never change a number — the same
+// spec and seed yield the identical report at any WithWorkers value.
+func ExampleRun() {
+	spec := repro.RumorConfig{N: 1024, Algorithm: repro.Dating}
+
+	serial, _ := repro.Run(spec, repro.WithSeed(7))
+	parallel, _ := repro.Run(spec, repro.WithSeed(7), repro.WithWorkers(8))
+
+	fmt.Println(serial.Completed)
+	fmt.Println(serial.Rounds == parallel.Rounds && serial.Messages == parallel.Messages)
+	// Output:
+	// true
+	// true
+}
+
 // Rumor spreading completes in O(log n) rounds; at n = 1024 that is a few
 // dozen rounds for the dating-based spreader.
 func ExampleSpreadRumor() {

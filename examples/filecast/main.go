@@ -20,26 +20,26 @@ func main() {
 		blockSize = 256 // bytes; a 4 KiB "movie" split into 16 blocks
 	)
 
-	s := repro.NewStream(99)
-	res, err := repro.Monger(repro.MongerConfig{
+	rep, err := repro.Run(repro.MongerConfig{
 		N:           n,
 		Blocks:      blocks,
 		BlockSize:   blockSize,
 		Source:      0,
 		PayloadSeed: 1234,
-	}, s)
+	}, repro.WithSeed(99))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Detail.(repro.MongerResult)
 
 	fmt.Printf("broadcasting %d blocks x %d bytes to %d nodes\n\n", blocks, blockSize, n)
-	for round, decoded := range res.DecodedHistory {
+	for round, decoded := range rep.Trajectory {
 		if decoded > 0 || round%5 == 4 {
 			fmt.Printf("round %3d: %3d/%d nodes fully decoded\n", round+1, decoded, n)
 		}
 	}
 	fmt.Printf("\ncompleted: %v in %d rounds (lower bound: %d rounds)\n",
-		res.Completed, res.Rounds, blocks)
+		rep.Completed, rep.Rounds, blocks)
 	fmt.Printf("packets sent: %d, innovative: %d (%.1f%% useful)\n",
 		res.PacketsSent, res.Innovative, 100*float64(res.Innovative)/float64(res.PacketsSent))
 	fmt.Println("\nevery node's decoded content was verified against the source")

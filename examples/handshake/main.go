@@ -14,32 +14,23 @@ import (
 
 func main() {
 	const n = 500
-	profile := repro.UnitBandwidth(n)
-	sel, err := repro.Uniform(n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	h, err := repro.NewHandshake(profile, sel, 17)
-	if err != nil {
-		log.Fatal(err)
-	}
-	nw, err := repro.NewNetwork(n)
+	const rounds = 10
+
+	rep, err := repro.Run(repro.HandshakeConfig{
+		Profile: repro.UnitBandwidth(n),
+		Rounds:  rounds,
+	}, repro.WithSeed(17))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	totalDates := 0
-	const rounds = 10
-	for r := 1; r <= rounds; r++ {
-		dates, err := h.RunRound(nw)
-		if err != nil {
-			log.Fatal(err)
-		}
-		totalDates += len(dates)
-		fmt.Printf("dating round %2d: %3d dates\n", r, len(dates))
+	for r, dates := range rep.Sent {
+		totalDates += dates
+		fmt.Printf("dating round %2d: %3d dates\n", r+1, dates)
 	}
 
-	st := nw.Stats()
+	st := rep.Detail.(repro.NetworkStats)
 	control := st.Sent - int64(totalDates)
 	fmt.Printf("\nover %d dating rounds (%d network rounds):\n", rounds, st.Rounds)
 	fmt.Printf("  payload messages: %d\n", totalDates)

@@ -24,10 +24,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := repro.NewStream(11)
 
+	// The per-round protocol hook (OnRound) still works under repro.Run:
+	// it is part of the protocol config, not an orthogonal axis.
 	richDone := 0
-	res, err := repro.SpreadRumor(repro.RumorConfig{
+	rep, err := repro.Run(repro.RumorConfig{
 		Algorithm: repro.Dating,
 		Profile:   profile,
 		Source:    0,
@@ -42,14 +43,14 @@ func main() {
 			}
 			richDone = round
 		},
-	}, s)
+	}, repro.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("n = %d (%d rich nodes at bandwidth %d, %d weak at 1)\n\n", n, rich, richB, n-rich)
 	fmt.Printf("all rich nodes informed by round %d\n", richDone)
-	fmt.Printf("entire network informed by round %d\n", res.Rounds)
+	fmt.Printf("entire network informed by round %d\n", rep.Rounds)
 	fmt.Printf("\nrich tier finished %.1fx earlier — the hierarchical distribution effect\n",
-		float64(res.Rounds)/float64(richDone))
+		float64(rep.Rounds)/float64(richDone))
 }

@@ -3,12 +3,14 @@
 // sharded internal/live runtime. Goroutine-per-peer execution stops being
 // viable around 10^5 peers; the sharded runtime replaces it with a fixed
 // worker pool over flat message buffers and reaches 10^6 comfortably,
-// while staying bit-identical for every shard count (run it with -shards 1
-// and -shards 8: same curve, different wall-clock).
+// while staying bit-identical for every worker budget (run it with
+// -workers 1 and -workers 8: same curve, different wall-clock).
 //
 // A second run repeats the spread on a lossy, laggy network (10% iid loss
-// on top of geometric latency) to show the same protocol code degrading
-// gracefully under realistic conditions.
+// on top of geometric latency), and a third under ring-distance latency —
+// every pair's flight time proportional to their distance in a DHT-style
+// embedding, the asymmetric network model — to show the same protocol code
+// degrading gracefully under realistic conditions.
 package main
 
 import (
@@ -24,55 +26,54 @@ import (
 
 func main() {
 	n := flag.Int("n", 1_000_000, "peer count")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "shard workers (any value: same result)")
-	lossy := flag.Bool("lossy", true, "repeat the run under 10% loss + geometric latency")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker budget / shard count (any value: same result)")
+	hostile := flag.Bool("hostile", true, "repeat the run under lossy and ring-latency networks")
 	flag.Parse()
 
-	fmt.Printf("%d peers, %d shard workers, perfect-sync network\n\n", *n, *shards)
-	sync := run(repro.LiveConfig{
-		Profile: repro.UnitBandwidth(*n),
-		Seed:    31,
-		Engine:  repro.LiveSharded,
-		Shards:  *shards,
-	}, *n)
+	spec := repro.LiveConfig{Profile: repro.UnitBandwidth(*n)}
 
-	if !*lossy {
+	fmt.Printf("%d peers, %d shard workers, perfect-sync network\n\n", *n, *workers)
+	sync := run(spec, *n, *workers, nil)
+
+	if !*hostile {
 		return
 	}
 	fmt.Printf("\nsame protocol, hostile network (10%% loss, geometric latency p=0.5):\n\n")
-	hostile := run(repro.LiveConfig{
-		Profile: repro.UnitBandwidth(*n),
-		Seed:    31,
-		Engine:  repro.LiveSharded,
-		Shards:  *shards,
-		Net:     repro.NetLoss{P: 0.10, Under: repro.NetGeomLatency{P: 0.5, Cap: 6}},
-	}, *n)
-	fmt.Printf("\ndegradation: %d -> %d dating rounds — slower, never stuck; no message is load-bearing\n",
-		sync, hostile)
+	lossy := run(spec, *n, *workers,
+		repro.NetLoss{P: 0.10, Under: repro.NetGeomLatency{P: 0.5, Cap: 6}})
+
+	fmt.Printf("\nsame protocol, asymmetric network (latency ~ ring distance in the DHT embedding):\n\n")
+	ring := run(spec, *n, *workers,
+		repro.NetRingLatency{Pos: repro.UniformRingEmbedding(*n, 31), Scale: 8, Max: 5})
+
+	fmt.Printf("\ndegradation: %d -> %d (lossy) / %d (ring) dating rounds — slower, never stuck; no message is load-bearing\n",
+		sync, lossy, ring)
 }
 
-// run executes one spread and prints its trajectory, returning the dating
-// round count.
-func run(cfg repro.LiveConfig, n int) int {
+// run executes one spread through the unified runner and prints its
+// trajectory, returning the dating round count.
+func run(spec repro.LiveConfig, n, workers int, net repro.NetModel) int {
 	start := time.Now()
-	res, err := repro.SpreadRumorLive(cfg)
+	rep, err := repro.Run(spec,
+		repro.WithSeed(31), repro.WithWorkers(workers), repro.WithNet(net))
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	res := rep.Detail.(repro.LiveResult)
 
-	step := len(res.History)/12 + 1
-	for round := 0; round < len(res.History); round += step {
-		printRound(round, res.History[round], n)
+	step := len(rep.Trajectory)/12 + 1
+	for round := 0; round < len(rep.Trajectory); round += step {
+		printRound(round, rep.Trajectory[round], n)
 	}
-	if (len(res.History)-1)%step != 0 {
-		printRound(len(res.History)-1, res.History[len(res.History)-1], n)
+	if (len(rep.Trajectory)-1)%step != 0 {
+		printRound(len(rep.Trajectory)-1, rep.Trajectory[len(rep.Trajectory)-1], n)
 	}
 	fmt.Printf("\ncompleted: %v in %d dating rounds (%d network rounds), %.1fs wall\n",
-		res.Completed, res.DatingRounds, res.Traffic.Rounds, elapsed.Seconds())
+		rep.Completed, rep.Rounds, res.Traffic.Rounds, elapsed.Seconds())
 	fmt.Printf("traffic: %d messages routed (%.1fM msg/s), max payloads into one peer per round: %d\n",
-		res.Traffic.Sent, float64(res.Traffic.Sent)/elapsed.Seconds()/1e6, res.MaxInPayloads)
-	return res.DatingRounds
+		rep.Messages, float64(rep.Messages)/elapsed.Seconds()/1e6, rep.MaxInLoad)
+	return rep.Rounds
 }
 
 func printRound(round, count, n int) {

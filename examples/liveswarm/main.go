@@ -1,9 +1,9 @@
 // Liveswarm: rumor spreading as a real concurrent system — one goroutine
 // per peer, channels for messages, no shared state beyond each peer's own
-// rumor flag. The protocol is the paper's three-step dating handshake; the
-// run is bit-identical to the sequential simulator for the same seed, which
-// the test suite verifies. This is the "goroutines map naturally to peer
-// processes" demonstration.
+// rumor flag. The protocol is the paper's three-step dating handshake,
+// selected with WithEngine(LiveGoroutine); the run is bit-identical to the
+// sharded runtime for the same seed, which the test suite verifies. This
+// is the "goroutines map naturally to peer processes" demonstration.
 package main
 
 import (
@@ -16,23 +16,25 @@ import (
 
 func main() {
 	const n = 1000
-	res, err := repro.SpreadRumorLive(repro.LiveConfig{
-		Profile:    repro.UnitBandwidth(n),
-		Source:     0,
-		Seed:       31,
-		Concurrent: true, // n goroutines, barrier-synchronized rounds
-	})
+	rep, err := repro.Run(repro.LiveConfig{
+		Profile: repro.UnitBandwidth(n),
+		Source:  0,
+	},
+		repro.WithSeed(31),
+		repro.WithEngine(repro.LiveGoroutine), // n goroutines, barrier-synchronized rounds
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Detail.(repro.LiveResult)
 
 	fmt.Printf("%d peers, each a goroutine, dating handshake over channels\n\n", n)
-	for round, count := range res.History {
+	for round, count := range rep.Trajectory {
 		bar := strings.Repeat("#", count*50/n)
 		fmt.Printf("dating round %2d: %4d informed |%-50s|\n", round+1, count, bar)
 	}
 	fmt.Printf("\ncompleted: %v in %d dating rounds (%d network rounds)\n",
-		res.Completed, res.DatingRounds, res.Traffic.Rounds)
+		rep.Completed, rep.Rounds, res.Traffic.Rounds)
 	fmt.Printf("traffic: %d messages total, max payloads into one node per round: %d\n",
-		res.Traffic.Sent, res.MaxInPayloads)
+		rep.Messages, rep.MaxInLoad)
 }

@@ -1,8 +1,8 @@
 // Rumor spreading on a heterogeneous network: a Zipf bandwidth profile with
-// nodes from 1 to 32 units, spreading one rumor with the dating service and
-// printing the informed count round by round. Demonstrates the paper's
-// Theorem 4: completion in O(log n) rounds while never exceeding anyone's
-// bandwidth.
+// nodes from 1 to 32 units, spread through the unified repro.Run entrypoint
+// with a per-round trace printing the informed count. Demonstrates the
+// paper's Theorem 4: completion in O(log n) rounds while never exceeding
+// anyone's bandwidth.
 package main
 
 import (
@@ -15,41 +15,34 @@ import (
 
 func main() {
 	const n = 2000
-	s := repro.NewStream(7)
+	const seed = 7
 
 	// Heterogeneous capabilities: Zipf-distributed bandwidths, with each
 	// node's in/out ratio bounded by C = 2 as the paper's model requires.
-	profile, err := repro.ZipfBandwidth(n, 1.0, 32, 2, s)
+	profile, err := repro.ZipfBandwidth(n, 1.0, 32, 2, repro.NewStream(seed))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("n = %d nodes, Bout = %d, Bin = %d, m = %d\n\n",
 		n, profile.TotalOut(), profile.TotalIn(), profile.M())
 
-	var trace []int
-	res, err := repro.SpreadRumor(repro.RumorConfig{
+	rep, err := repro.Run(repro.RumorConfig{
 		Algorithm: repro.Dating,
 		Profile:   profile,
 		Source:    0,
-		OnRound: func(round int, informed []bool) {
-			count := 0
-			for _, b := range informed {
-				if b {
-					count++
-				}
-			}
-			trace = append(trace, count)
-		},
-	}, s)
+	},
+		repro.WithSeed(seed),
+		repro.WithWorkers(4),
+		repro.WithTrace(func(round, informed int) {
+			bar := strings.Repeat("#", informed*50/n)
+			fmt.Printf("round %2d: %5d informed |%-50s|\n", round, informed, bar)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for round, count := range trace {
-		bar := strings.Repeat("#", count*50/n)
-		fmt.Printf("round %2d: %5d informed |%-50s|\n", round+1, count, bar)
-	}
-	fmt.Printf("\ncompleted: %v in %d rounds (log2 n = 11)\n", res.Completed, res.Rounds)
+	fmt.Printf("\ncompleted: %v in %d rounds (log2 n = 11)\n", rep.Completed, rep.Rounds)
 	fmt.Printf("worst per-round loads: in %d, out %d — never above the profile\n",
-		res.MaxInLoad, res.MaxOutLoad)
+		rep.MaxInLoad, rep.MaxOutLoad)
 }

@@ -19,20 +19,20 @@ func main() {
 		SlotsPerNode:   10,
 		RoundCap:       2, // each node ships/absorbs at most 2 blocks per round
 	}
-	s := repro.NewStream(5)
-	res, err := repro.Replicate(cfg, s)
+	rep, err := repro.Run(cfg, repro.WithSeed(5), repro.WithWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Detail.(repro.StorageResult)
 
 	total := cfg.N * cfg.ObjectsPerNode * cfg.Replicas
 	fmt.Printf("replicating %d objects x %d replicas across %d nodes (%d placements)\n\n",
 		cfg.N*cfg.ObjectsPerNode, cfg.Replicas, cfg.N, total)
-	step := len(res.PlacedHistory)/10 + 1
-	for i := 0; i < len(res.PlacedHistory); i += step {
-		fmt.Printf("round %3d: %4d/%d replicas placed\n", i+1, res.PlacedHistory[i], total)
+	step := len(rep.Trajectory)/10 + 1
+	for i := 0; i < len(rep.Trajectory); i += step {
+		fmt.Printf("round %3d: %4d/%d replicas placed\n", i+1, rep.Trajectory[i], total)
 	}
-	fmt.Printf("\ncompleted: %v in %d rounds\n", res.Completed, res.Rounds)
+	fmt.Printf("\ncompleted: %v in %d rounds\n", rep.Completed, rep.Rounds)
 	fmt.Printf("final occupancy: min %d, max %d blocks per node (avg %.1f)\n",
 		res.MinOccupancy, res.MaxOccupancy, float64(total)/float64(cfg.N))
 	fmt.Printf("transfers: %d useful, %d wasted dates\n", res.Transfers, res.WastedDates)

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/run"
 )
 
 // MongerConfig parameterizes a rumor mongering run: broadcasting a B-block
@@ -24,6 +26,12 @@ type MongerConfig struct {
 	MaxRounds int
 	// Seed for the message content (the "movie" being distributed).
 	PayloadSeed uint64
+	// Workers, if at least 1, arranges every dating round on the seeded
+	// engine (core.Service.RunRoundSeeded) with that many workers, with a
+	// per-round seed drawn off the run stream — bit-identical for every
+	// Workers >= 1, exactly as gossip.Config.Workers. 0 keeps the legacy
+	// serial path driven directly by the run stream.
+	Workers int
 }
 
 // MongerResult reports a mongering run.
@@ -31,13 +39,45 @@ type MongerResult struct {
 	Rounds         int
 	Completed      bool
 	DecodedHistory []int // fully decoded node count per round
+	SentHistory    []int // coded packets transmitted per round
 	PacketsSent    int   // coded packets transmitted
 	Innovative     int   // packets that increased some node's rank
+}
+
+// Protocol implements run.Spec.
+func (c MongerConfig) Protocol() string { return "monger" }
+
+// Execute implements run.Spec: the run stream derives from the root seed
+// under DomainMonger and every dating round draws its workers from the
+// shared budget (cfg.Workers is ignored). Trajectory is the fully-decoded
+// node history; Detail the full MongerResult.
+func (c MongerConfig) Execute(o *run.Options) (run.Report, error) {
+	cfg := c
+	cfg.Workers = 0 // the budget drives the engine
+	res, err := runMongerBudgeted(cfg, run.StreamFor(o.Seed, run.DomainMonger), o.Budget)
+	if err != nil {
+		return run.Report{}, err
+	}
+	return run.Report{
+		Rounds:     res.Rounds,
+		Completed:  res.Completed,
+		Trajectory: res.DecodedHistory,
+		Sent:       res.SentHistory,
+		Messages:   int64(res.PacketsSent),
+		Detail:     res,
+	}, nil
 }
 
 // RunMonger executes the protocol and verifies every node's decoded message
 // against the source content before declaring completion.
 func RunMonger(cfg MongerConfig, s *rng.Stream) (MongerResult, error) {
+	return runMongerBudgeted(cfg, s, nil)
+}
+
+// runMongerBudgeted is RunMonger with an optional shared worker budget;
+// non-nil b runs every dating round on the seeded engine with the caller's
+// worker plus the pool's spare tokens, overriding cfg.Workers.
+func runMongerBudgeted(cfg MongerConfig, s *rng.Stream, b *par.Budget) (MongerResult, error) {
 	if cfg.N <= 1 {
 		return MongerResult{}, fmt.Errorf("coding: mongering needs n > 1, got %d", cfg.N)
 	}
@@ -96,9 +136,31 @@ func RunMonger(cfg MongerConfig, s *rng.Stream) (MongerResult, error) {
 		maxRounds = 8 * (cfg.Blocks + 64)
 	}
 
+	if cfg.Workers < 0 {
+		return MongerResult{}, fmt.Errorf("coding: workers %d must be non-negative", cfg.Workers)
+	}
+
 	var res MongerResult
 	for round := 1; round <= maxRounds; round++ {
-		dates := svc.RunRound(s).Dates
+		var dates []core.Date
+		if b != nil || cfg.Workers >= 1 {
+			// One draw per round whatever the worker count, so the run
+			// stream evolves identically for every Workers value.
+			seed := s.Uint64()
+			var rres core.RoundResult
+			var err error
+			if b != nil {
+				rres, err = svc.RunRoundShared(seed, b)
+			} else {
+				rres, err = svc.RunRoundSeeded(seed, cfg.Workers)
+			}
+			if err != nil {
+				return MongerResult{}, err
+			}
+			dates = rres.Dates
+		} else {
+			dates = svc.RunRound(s).Dates
+		}
 		// Transmissions use the start-of-round spans: emit all packets
 		// first, then deliver, so a packet relayed within the same round
 		// cannot leapfrog (synchronous model).
@@ -130,6 +192,7 @@ func RunMonger(cfg MongerConfig, s *rng.Stream) (MongerResult, error) {
 		}
 		res.Rounds = round
 		res.DecodedHistory = append(res.DecodedHistory, decoded)
+		res.SentHistory = append(res.SentHistory, len(mail))
 		if decoded == cfg.N {
 			res.Completed = true
 			break

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -67,6 +68,18 @@ func NewArranger(sel Selector) (*Arranger, error) {
 
 // N returns the number of addressable nodes.
 func (a *Arranger) N() int { return a.sel.N() }
+
+// ArrangeShared is Arrange drawing its worker count from a shared budget:
+// the round runs with the caller's worker plus whatever spare tokens b has
+// at this moment, released when the round is done. Because Arrange is
+// worker-count independent, whatever the pool hands out is a pure speed
+// knob. A nil budget arranges serially.
+func (a *Arranger) ArrangeShared(out, in []int, seed uint64, b *par.Budget) (dates []Date, err error) {
+	b.Use(0, func(workers int) {
+		dates, err = a.Arrange(out, in, seed, workers)
+	})
+	return dates, err
+}
 
 // Arrange runs one dating-service round: out[i] offers (units node i wants
 // to send) and in[i] requests (units node i can absorb), both of which may

@@ -26,8 +26,27 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
+
+// RunRoundShared is RunRoundSeeded drawing its worker count from a shared
+// budget: the round runs with the caller's worker plus whatever spare
+// tokens b has at this moment, released when the round is done. Since the
+// seeded path is worker-count independent, whatever the pool hands out is
+// a pure speed knob. A nil budget runs serially.
+func (sv *Service) RunRoundShared(seed uint64, b *par.Budget) (RoundResult, error) {
+	return sv.RunRoundSharedFiltered(seed, b, nil)
+}
+
+// RunRoundSharedFiltered is RunRoundShared with the liveness predicate of
+// RunRoundSeededFiltered.
+func (sv *Service) RunRoundSharedFiltered(seed uint64, b *par.Budget, alive func(i int) bool) (res RoundResult, err error) {
+	b.Use(0, func(workers int) {
+		res, err = sv.RunRoundSeededFiltered(seed, workers, alive)
+	})
+	return res, err
+}
 
 // RunRoundSeeded executes Algorithm 1 once with per-node/per-rendezvous
 // derived randomness: the result is bit-for-bit identical for every

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -17,12 +18,15 @@ import (
 // bandwidth but keeps the protocol simple and churn-tolerant, and the
 // O(log n) bound holds regardless (Theorem 4).
 //
-// When workers >= 1 each round runs on the seeded engine
-// (core.Service.RunRoundSeededFiltered) with a per-round seed drawn off
-// the run stream: the spreading run is bit-identical for every workers
-// value, so RumorConfig.Workers is a pure speed knob. workers == 0 keeps
-// the legacy serial path driven directly by the run stream.
-func datingStep(svc *core.Service, workers int) stepFunc {
+// When b is non-nil each round runs on the seeded engine with the caller's
+// worker plus whatever spare tokens the shared budget has that round; when
+// workers >= 1 it runs on the seeded engine with that fixed worker count.
+// Either way the per-round seed is one draw off the run stream and the
+// seeded path is worker-count independent, so the spreading run is
+// bit-identical for every budget size and every workers value: both are
+// pure speed knobs. b == nil with workers == 0 keeps the legacy serial
+// path driven directly by the run stream.
+func datingStep(svc *core.Service, workers int, b *par.Budget) stepFunc {
 	return func(st *state, s *rng.Stream) {
 		var alive func(i int) bool
 		if anyDead(st.alive) {
@@ -31,11 +35,16 @@ func datingStep(svc *core.Service, workers int) stepFunc {
 			alive = func(i int) bool { return st.alive[i] }
 		}
 		var res core.RoundResult
-		if workers >= 1 {
+		if b != nil || workers >= 1 {
 			// One draw per round whatever the worker count, so the run
 			// stream evolves identically for every workers value.
+			seed := s.Uint64()
 			var err error
-			res, err = svc.RunRoundSeededFiltered(s.Uint64(), workers, alive)
+			if b != nil {
+				res, err = svc.RunRoundSharedFiltered(seed, b, alive)
+			} else {
+				res, err = svc.RunRoundSeededFiltered(seed, workers, alive)
+			}
 			if err != nil {
 				// Run validated the worker configuration; a failure here is
 				// a programming error, not a runtime condition.

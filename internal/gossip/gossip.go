@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -109,6 +110,10 @@ type Result struct {
 	Completed bool  // whether every live node was informed
 	History   []int // informed node count after each round
 	ItHistory []int // total outgoing bandwidth of informed nodes per round
+	// SentHistory is the number of messages moved per round: all arranged
+	// dates for the dating spreader (every date consumes bandwidth whether
+	// or not it carries the rumor), rumor transmissions for the baselines.
+	SentHistory []int
 	// MaxInLoad / MaxOutLoad record the largest number of rumor messages a
 	// single node received / served in one round; the dating spreader keeps
 	// these within the profile bounds by construction, the baselines do not.
@@ -141,6 +146,16 @@ type stepFunc func(st *state, s *rng.Stream)
 
 // Run executes one spreading run and returns its result.
 func Run(cfg Config, s *rng.Stream) (Result, error) {
+	return runBudgeted(cfg, s, nil)
+}
+
+// runBudgeted is Run with an optional shared worker budget. When b is
+// non-nil every dating round runs on the seeded engine with the caller's
+// worker plus whatever spare tokens the pool has that round (overriding
+// cfg.Workers); the seeded path is worker-count independent, so the
+// fluctuating counts are a pure speed knob and the result equals the
+// cfg.Workers >= 1 path bit for bit.
+func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 	n := cfg.n()
 	if n <= 0 {
 		return Result{}, fmt.Errorf("gossip: config needs N or a Profile")
@@ -189,7 +204,7 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		step = datingStep(svc, cfg.Workers)
+		step = datingStep(svc, cfg.Workers, b)
 	default:
 		return Result{}, fmt.Errorf("gossip: unknown algorithm %v", cfg.Algorithm)
 	}
@@ -233,7 +248,9 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 		res.Rounds = round
 		res.History = append(res.History, count)
 		res.ItHistory = append(res.ItHistory, it)
+		sent := 0
 		for i := 0; i < n; i++ {
+			sent += st.out[i]
 			if st.out[i] > res.MaxOutLoad {
 				res.MaxOutLoad = st.out[i]
 			}
@@ -241,6 +258,7 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 				res.MaxInLoad = st.in[i]
 			}
 		}
+		res.SentHistory = append(res.SentHistory, sent)
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, st.informed)
 		}

@@ -60,6 +60,10 @@ type LiveResult struct {
 	DatingRounds int
 	Completed    bool
 	History      []int // informed count after each dating round
+	// SentHistory is the number of messages routed per dating round (the
+	// three network rounds of the handshake; the first entry also counts
+	// the prologue scatter).
+	SentHistory []int
 	// MaxInPayloads is the largest number of payload messages any node
 	// received in one dating round; the dating service guarantees it never
 	// exceeds that node's bin under the perfect-sync model (latency models
@@ -171,11 +175,14 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	// payloads — so the informed count inspected after each iteration is
 	// exact for that round.
 	run(1)
+	var prevSent int64
 	for round := 1; round <= maxDating; round++ {
 		for i := range st.inPayloads {
 			st.inPayloads[i] = 0
 		}
 		res.Traffic = run(3)
+		res.SentHistory = append(res.SentHistory, int(res.Traffic.Sent-prevSent))
+		prevSent = res.Traffic.Sent
 		count := 0
 		for i := 0; i < n; i++ {
 			if st.informed[i] {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -60,11 +61,18 @@ type MultiRumorResult struct {
 	Completed     bool
 	PerRumorDone  []int // round at which each rumor reached everyone (0 = never)
 	KnowledgeHist []int // total (node, rumor) pairs known per round
+	SentHistory   []int // dates arranged per round (each carries one rumor)
 }
 
 // RunMultiRumor spreads all injected rumors until every node knows every
 // rumor or MaxRounds elapses.
 func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error) {
+	return runMultiRumorBudgeted(cfg, s, nil)
+}
+
+// runMultiRumorBudgeted is RunMultiRumor with an optional shared worker
+// budget; non-nil b overrides cfg.Workers exactly as in runBudgeted.
+func runMultiRumorBudgeted(cfg MultiRumorConfig, s *rng.Stream, b *par.Budget) (MultiRumorResult, error) {
 	n := cfg.N
 	profile := cfg.Profile
 	if profile.N() > 0 {
@@ -142,10 +150,17 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 		}
 
 		var dates []core.Date
-		if cfg.Workers >= 1 {
+		if b != nil || cfg.Workers >= 1 {
 			// One draw per round whatever the worker count, so the run
 			// stream evolves identically for every Workers value.
-			pres, err := svc.RunRoundSeeded(s.Uint64(), cfg.Workers)
+			seed := s.Uint64()
+			var pres core.RoundResult
+			var err error
+			if b != nil {
+				pres, err = svc.RunRoundShared(seed, b)
+			} else {
+				pres, err = svc.RunRoundSeeded(seed, cfg.Workers)
+			}
 			if err != nil {
 				return MultiRumorResult{}, err
 			}
@@ -153,6 +168,7 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 		} else {
 			dates = svc.RunRound(s).Dates
 		}
+		res.SentHistory = append(res.SentHistory, len(dates))
 		// Synchronous semantics: forwarding decisions use start-of-round
 		// knowledge, so collect transfers first and apply afterwards.
 		type transfer struct {

@@ -57,6 +57,7 @@ const (
 	peerDomain  uint64 = 0x91 // per-peer protocol streams
 	netDomain   uint64 = 0x92 // per-(round, sender) network-model streams
 	churnDomain uint64 = 0x93 // EpochChurn's (epoch, peer) down-ness hash
+	ringDomain  uint64 = 0x94 // UniformRing's embedding positions
 )
 
 // PeerSeed returns the seed of peer i's private stream in a runtime rooted
@@ -178,7 +179,7 @@ func New(cfg Config) (*Runtime, error) {
 	if net == nil {
 		net = Sync{}
 	}
-	if err := validateNet(net); err != nil {
+	if err := validateNet(net, cfg.N); err != nil {
 		return nil, err
 	}
 	shards := cfg.Shards

@@ -65,6 +65,9 @@ func TestNewValidation(t *testing.T) {
 		EpochChurn{Epoch: 0, DownFrac: 0.1},
 		EpochChurn{Epoch: 3, DownFrac: 1},
 		Loss{P: 0.1, Under: FixedLatency{Rounds: 0}},
+		RingLatency{Pos: UniformRing(4, 1), Scale: 2, Max: 0},
+		RingLatency{Pos: UniformRing(4, 1), Scale: -1, Max: 3},
+		RingLatency{Pos: UniformRing(2, 1), Scale: 2, Max: 3}, // embedding smaller than n
 	} {
 		if _, err := New(Config{N: 4, Step: step, Net: net}); err == nil {
 			t.Errorf("accepted invalid net model %#v", net)
@@ -85,6 +88,7 @@ func TestShardCountBitIdentity(t *testing.T) {
 		"loss":    Loss{P: 0.2},
 		"churn":   EpochChurn{Seed: 9, Epoch: 4, DownFrac: 0.3},
 		"composn": Loss{P: 0.1, Under: GeomLatency{P: 0.5, Cap: 3}},
+		"ring":    RingLatency{Pos: UniformRing(n, 13), Scale: 6, Max: 4},
 	}
 	for name, net := range models {
 		t.Run(name, func(t *testing.T) {

@@ -166,8 +166,69 @@ func (c EpochChurn) MaxDelay() int { return c.under().MaxDelay() }
 // Random implements NetModel.
 func (c EpochChurn) Random() bool { return c.under().Random() }
 
-// validateNet rejects models the runtime cannot schedule.
-func validateNet(net NetModel) error {
+// RingLatency is the worked NetModel-asymmetry example: per-pair message
+// latency proportional to ring distance in a DHT-style embedding. Peer i
+// sits at position Pos[i] on the unit ring (the Section 4 overlay's
+// coordinate space, or any embedding of the physical topology), and a
+// message from i to j is in flight for
+//
+//	1 + floor(arc(i, j) * Scale)
+//
+// rounds, where arc is the shorter arc between the two positions (in
+// [0, 1/2]), clamped to Max. Nearby peers talk at the synchronous round
+// rate; antipodal peers pay up to Max rounds — so unlike the symmetric
+// models above, *which* rendezvous a request lands on decides how fast the
+// handshake completes. Plan is a pure function of (From, To): no randomness
+// is drawn, and runs stay bit-identical for every shard count.
+type RingLatency struct {
+	// Pos holds every peer's ring position in [0, 1); len(Pos) must cover
+	// the runtime's peer count.
+	Pos []float64
+	// Scale converts arc distance to rounds of flight time: a message
+	// travelling the maximal arc of 1/2 takes 1 + floor(Scale/2) rounds
+	// before clamping.
+	Scale float64
+	// Max caps the delay (and sizes the runtime's delivery ring), >= 1.
+	Max int
+}
+
+// Plan implements NetModel.
+func (r RingLatency) Plan(_ int, m simnet.Message, _ *rng.Stream) int {
+	arc := r.Pos[m.From] - r.Pos[m.To]
+	if arc < 0 {
+		arc = -arc
+	}
+	if arc > 0.5 {
+		arc = 1 - arc
+	}
+	d := 1 + int(arc*r.Scale)
+	if d > r.Max {
+		d = r.Max
+	}
+	return d
+}
+
+// MaxDelay implements NetModel.
+func (r RingLatency) MaxDelay() int { return r.Max }
+
+// Random implements NetModel.
+func (RingLatency) Random() bool { return false }
+
+// UniformRing embeds n peers at independent uniform positions on the unit
+// ring, derived from seed with the repository's scheme — the standard
+// embedding for RingLatency when no real overlay coordinates exist.
+func UniformRing(n int, seed uint64) []float64 {
+	s := rng.New(rng.Derive(seed, ringDomain))
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = s.Float64()
+	}
+	return pos
+}
+
+// validateNet rejects models the runtime cannot schedule; n is the peer
+// count, for models whose parameters are per-peer.
+func validateNet(net NetModel, n int) error {
 	if net.MaxDelay() < 1 {
 		return fmt.Errorf("live: net model MaxDelay %d < 1", net.MaxDelay())
 	}
@@ -188,7 +249,7 @@ func validateNet(net NetModel) error {
 			return fmt.Errorf("live: Loss.P %v outside [0, 1)", m.P)
 		}
 		if m.Under != nil {
-			return validateNet(m.Under)
+			return validateNet(m.Under, n)
 		}
 	case EpochChurn:
 		if m.Epoch < 1 {
@@ -198,7 +259,17 @@ func validateNet(net NetModel) error {
 			return fmt.Errorf("live: EpochChurn.DownFrac %v outside [0, 1)", m.DownFrac)
 		}
 		if m.Under != nil {
-			return validateNet(m.Under)
+			return validateNet(m.Under, n)
+		}
+	case RingLatency:
+		if m.Max < 1 {
+			return fmt.Errorf("live: RingLatency.Max %d < 1", m.Max)
+		}
+		if m.Scale < 0 {
+			return fmt.Errorf("live: RingLatency.Scale %v negative", m.Scale)
+		}
+		if len(m.Pos) < n {
+			return fmt.Errorf("live: RingLatency embeds %d peers, runtime has %d", len(m.Pos), n)
 		}
 	}
 	return nil

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Budget is a shared pool of worker tokens: the one mechanism by which the
+// experiment harness, the unified runner and the round engines agree on how
+// many goroutines may compute at once. A Budget of Total() == k stands for
+// k workers in the whole tree of computations that share it.
+//
+// The accounting convention is implicit-plus-spares: every goroutine that
+// runs work on behalf of the budget counts as one worker without holding a
+// token, and NewBudget(k) therefore starts with k-1 spare tokens. A context
+// that wants inner parallelism grabs extra tokens with TryAcquire (never
+// blocking, so nested acquisition cannot deadlock), runs with 1 + extra
+// workers, and releases the extras when done — the Use helper packages that
+// pattern. A harness that fans out holds one token per additional worker
+// goroutine for as long as that goroutine lives, so tokens freed by workers
+// that ran out of jobs flow to the inner engines of the jobs still running:
+// small-repetition sweeps use the leftover cores instead of pinning inner
+// workers to 1.
+//
+// Because every engine fed from a Budget draws its randomness per unit of
+// work (rng.Derive streams, not per-worker streams), the fluctuating worker
+// counts a Budget hands out are a pure speed knob: results are bit-identical
+// whatever the pool decides.
+//
+// A nil *Budget is valid everywhere and means "no shared pool": TryAcquire
+// returns 0, Use runs its function with exactly one worker.
+type Budget struct {
+	total int
+	spare atomic.Int64
+}
+
+// NewBudget returns a budget of total worker tokens; the owning context
+// counts as the first worker, so total-1 spare tokens are available for
+// fan-out. total must be at least 1.
+func NewBudget(total int) (*Budget, error) {
+	if total < 1 {
+		return nil, fmt.Errorf("par: budget needs at least one worker, got %d", total)
+	}
+	b := &Budget{total: total}
+	b.spare.Store(int64(total - 1))
+	return b, nil
+}
+
+// Total returns the budget's worker count; 1 for a nil budget.
+func (b *Budget) Total() int {
+	if b == nil {
+		return 1
+	}
+	return b.total
+}
+
+// TryAcquire takes up to want spare tokens without blocking and returns how
+// many it got (possibly 0). The grab is atomic: concurrent callers never
+// split a request, so whoever wins the race gets everything available up to
+// its want.
+func (b *Budget) TryAcquire(want int) int {
+	if b == nil || want <= 0 {
+		return 0
+	}
+	for {
+		avail := b.spare.Load()
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > avail {
+			take = avail
+		}
+		if b.spare.CompareAndSwap(avail, avail-take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns k tokens to the pool. Releasing more than was acquired is
+// a programming error and panics, so leaks are caught in tests rather than
+// silently inflating the pool.
+func (b *Budget) Release(k int) {
+	if b == nil || k == 0 {
+		return
+	}
+	if k < 0 {
+		panic("par: negative release")
+	}
+	if b.spare.Add(int64(k)) > int64(b.total-1) {
+		panic("par: budget over-released")
+	}
+}
+
+// Use runs f with between 1 and want workers: the caller's implicit worker
+// plus whatever spare tokens the pool has at this moment, released when f
+// returns. want <= 0 means "as many as the budget allows" (Total()). On a
+// nil budget f runs with exactly one worker.
+func (b *Budget) Use(want int, f func(workers int)) {
+	if b == nil {
+		f(1)
+		return
+	}
+	if want <= 0 || want > b.total {
+		want = b.total
+	}
+	extra := b.TryAcquire(want - 1)
+	defer b.Release(extra)
+	f(1 + extra)
+}

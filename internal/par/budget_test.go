@@ -1,0 +1,124 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	if _, err := NewBudget(0); err == nil {
+		t.Error("accepted a zero-worker budget")
+	}
+	b, err := NewBudget(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", b.Total())
+	}
+	if got := b.TryAcquire(10); got != 3 {
+		t.Fatalf("TryAcquire(10) on a fresh budget of 4 = %d, want 3 spares", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on a drained budget = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) after full release = %d, want 2", got)
+	}
+	b.Release(2)
+}
+
+func TestBudgetNilIsSerial(t *testing.T) {
+	var b *Budget
+	if b.Total() != 1 {
+		t.Fatalf("nil Total = %d, want 1", b.Total())
+	}
+	if b.TryAcquire(8) != 0 {
+		t.Fatal("nil budget handed out tokens")
+	}
+	b.Release(0) // must not panic
+	ran := false
+	b.Use(8, func(w int) {
+		ran = true
+		if w != 1 {
+			t.Fatalf("nil budget Use gave %d workers, want 1", w)
+		}
+	})
+	if !ran {
+		t.Fatal("Use did not run f")
+	}
+}
+
+func TestBudgetUseBounds(t *testing.T) {
+	b, _ := NewBudget(6)
+	b.Use(3, func(w int) {
+		if w != 3 {
+			t.Fatalf("Use(3) on an idle budget of 6 = %d workers", w)
+		}
+		// Nested use sees the remaining spares only.
+		b.Use(0, func(inner int) {
+			if inner != 1+3 { // 5 spares minus the 2 held above
+				t.Fatalf("nested Use = %d workers, want 4", inner)
+			}
+		})
+	})
+	// Everything returned: a full-width Use gets all 6.
+	b.Use(0, func(w int) {
+		if w != 6 {
+			t.Fatalf("Use(0) = %d workers, want 6", w)
+		}
+	})
+}
+
+func TestBudgetOverReleasePanics(t *testing.T) {
+	b, _ := NewBudget(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	b.Release(2)
+}
+
+func TestBudgetConcurrentNeverOversubscribes(t *testing.T) {
+	const total = 4
+	b, _ := NewBudget(total)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	// Each goroutine models a harness worker: goroutine 0 is the budget
+	// owner's implicit worker, the rest hold one token each for their
+	// lifetime; all of them repeatedly grab extras for "inner" work.
+	workers := 1 + b.TryAcquire(total-1)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(holdsToken bool) {
+			defer wg.Done()
+			if holdsToken {
+				defer b.Release(1)
+			}
+			for i := 0; i < 200; i++ {
+				b.Use(0, func(w int) {
+					c := cur.Add(int64(w))
+					for {
+						p := peak.Load()
+						if c <= p || peak.CompareAndSwap(p, c) {
+							break
+						}
+					}
+					cur.Add(int64(-w))
+				})
+			}
+		}(g > 0)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > total {
+		t.Fatalf("peak concurrent workers %d exceeds the budget of %d", p, total)
+	}
+	b.Use(0, func(w int) {
+		if w != total {
+			t.Fatalf("budget leaked tokens: idle Use = %d workers, want %d", w, total)
+		}
+	})
+}

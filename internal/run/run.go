@@ -1,0 +1,241 @@
+// Package run is the seed-first unified runner behind repro.Run: one
+// entrypoint that executes any protocol of the repository — rumor spreading,
+// multi-rumor, message-level live spreading, network-coded mongering,
+// replicated storage, the explicit dating handshake — from a Spec plus a set
+// of orthogonal axes carried by functional options.
+//
+// # Why a single runner
+//
+// The facade used to grow one entrypoint per subsystem, each with its own
+// signature (some took a *rng.Stream, some buried the seed in the config)
+// and with Workers/Engine/Net duplicated across four config structs. The
+// runner collapses that N×M surface: a protocol config implements Spec, and
+// the axes that are orthogonal to the protocol — seed, worker budget,
+// execution substrate, network model, tracing — are options:
+//
+//	rep, err := run.Run(cfg,
+//	    run.WithSeed(42),
+//	    run.WithWorkers(8),
+//	    run.WithNet(live.Loss{P: 0.01}),
+//	)
+//
+// # Seed derivation
+//
+// *rng.Stream disappears from the public surface; Run derives every stream
+// internally with the repository's one derivation scheme. Each protocol owns
+// a domain tag and its effective seed is
+//
+//	rng.Derive(rootSeed, domain)
+//
+// so protocols sharing a root seed draw from disjoint stream families, and
+// feeding the legacy entrypoints a stream built with StreamFor reproduces a
+// Run bit for bit — the seed-compatibility golden tests pin exactly that.
+//
+// # The worker budget
+//
+// WithWorkers(k) sizes a par.Budget of k tokens that the whole run draws
+// from: the protocol's dating rounds grab spare tokens per round (via
+// Arranger.ArrangeShared / Service.RunRoundSeeded) instead of pinning a
+// fixed inner worker count. Every budget-fed engine derives its randomness
+// per unit of work, so the worker count a round happens to get is a pure
+// speed knob — reports are bit-identical for every k >= 1.
+package run
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Protocol seed-derivation domains. Every Spec derives its effective seed
+// as rng.Derive(rootSeed, domain), keeping the stream families of protocols
+// that share a root seed disjoint. The tags live in the 0xA_ range; other
+// families used across the repository are 0x1 (Arranger), 0x11–0x61 (the
+// sim harness) and 0x91–0x93 (the live runtime).
+const (
+	DomainRumor     uint64 = 0xA1
+	DomainMulti     uint64 = 0xA2
+	DomainLive      uint64 = 0xA3
+	DomainMonger    uint64 = 0xA4
+	DomainStorage   uint64 = 0xA5
+	DomainHandshake uint64 = 0xA6
+)
+
+// SeedFor returns the effective seed a protocol with the given domain tag
+// derives from a root seed.
+func SeedFor(seed, domain uint64) uint64 { return rng.Derive(seed, domain) }
+
+// StreamFor returns the run stream a protocol with the given domain tag
+// derives from a root seed. Feeding this stream to a legacy *Stream-based
+// entrypoint reproduces Run(spec, WithSeed(seed)) bit for bit.
+func StreamFor(seed, domain uint64) *rng.Stream { return rng.New(SeedFor(seed, domain)) }
+
+// Engine selects the execution substrate for protocols that have more than
+// one (today: the live message-level runs).
+type Engine int
+
+const (
+	// EngineDefault lets the protocol pick its production substrate (for
+	// live runs, the sharded runtime).
+	EngineDefault Engine = iota
+	// EngineGoroutine is the goroutine-per-peer demonstration engine.
+	EngineGoroutine
+	// EngineSharded is the sharded flat-buffer runtime; it scales to
+	// millions of peers and accepts a NetModel.
+	EngineSharded
+)
+
+// Options carries the orthogonal axes of a run. Specs read it in Execute;
+// construct it through Run's functional options, never literally.
+type Options struct {
+	// Seed is the root seed; each protocol derives its own streams from it
+	// (see the Domain tags).
+	Seed uint64
+	// Workers is the run's total worker budget, >= 1.
+	Workers int
+	// Budget is the shared token pool the protocol's rounds draw from;
+	// Run sizes it from Workers when the caller did not share one.
+	Budget *par.Budget
+	// Engine picks the execution substrate where the protocol has several.
+	Engine Engine
+	// Net plugs a network model into message-level substrates; nil is the
+	// paper's perfect-sync network.
+	Net live.NetModel
+	// Trace receives the run's per-round progress, one call per protocol
+	// round in round order with the trajectory value of that round. Calls
+	// are a replay of the recorded trajectory after the protocol finishes
+	// (identical semantics for every protocol), not a live feed.
+	Trace func(round, progress int)
+}
+
+// Option mutates Options; the With* constructors are the public vocabulary.
+type Option func(*Options)
+
+// WithSeed sets the root seed of the run (default 0). Two runs of the same
+// spec and seed are bit-identical whatever the other options say.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithWorkers sets the run's worker budget (default 1). Parallelism is a
+// pure speed knob: every worker count produces the same report.
+func WithWorkers(k int) Option { return func(o *Options) { o.Workers = k } }
+
+// WithEngine selects the execution substrate for protocols that have more
+// than one; protocols with a single substrate ignore it.
+func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
+
+// WithNet plugs a network model — latency, loss, churn — into the run.
+// Only message-level protocols (live spreading) consult it.
+func WithNet(m live.NetModel) Option { return func(o *Options) { o.Net = m } }
+
+// WithTrace registers a per-round observer: fn is called once per protocol
+// round, in round order, with the round number (1-based) and that round's
+// trajectory value. The calls replay the recorded trajectory after the run
+// completes — the same semantics for every protocol — so fn is for
+// rendering progress histories, not for watching a long run live (attach a
+// protocol-level hook such as RumorConfig.OnRound for that).
+func WithTrace(fn func(round, progress int)) Option { return func(o *Options) { o.Trace = fn } }
+
+// WithBudget shares an existing worker pool with the run instead of sizing
+// a fresh one from WithWorkers — this is how the experiment harness lets a
+// run's inner rounds soak up cores its other jobs are done with.
+func WithBudget(b *par.Budget) Option { return func(o *Options) { o.Budget = b } }
+
+// Report is the unified outcome every protocol emits: enough for the sim
+// registry, the CLIs and the BENCH_*.json writers to consume any run
+// generically, with the protocol-native result preserved in Detail.
+type Report struct {
+	// Protocol is the spec's short name ("rumor", "live", "storage", ...).
+	Protocol string `json:"protocol"`
+	// Rounds is the number of protocol rounds executed.
+	Rounds int `json:"rounds"`
+	// Completed reports whether the protocol reached its goal within its
+	// round cap (fixed-length protocols always complete).
+	Completed bool `json:"completed"`
+	// Trajectory is the per-round progress counter: informed nodes,
+	// (node, rumor) pairs known, fully decoded nodes, cumulative replicas
+	// placed, cumulative dates completed.
+	Trajectory []int `json:"trajectory,omitempty"`
+	// Sent is the per-round count of dates arranged / messages moved.
+	Sent []int `json:"sent,omitempty"`
+	// Messages is the run's total message (or date) count.
+	Messages int64 `json:"messages"`
+	// MaxInLoad / MaxOutLoad are the worst per-round per-node loads, for
+	// protocols that track bandwidth honesty (0 where untracked).
+	MaxInLoad  int `json:"max_in_load,omitempty"`
+	MaxOutLoad int `json:"max_out_load,omitempty"`
+	// Wall is the run's wall-clock time, stamped by Run.
+	Wall time.Duration `json:"wall_ns"`
+	// Seed and Workers echo the options for reproducibility records.
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Detail is the protocol-native result (gossip.Result, storage.Result,
+	// ...) for callers that need fields the unified shape does not carry.
+	Detail any `json:"-"`
+}
+
+// Spec is a runnable protocol configuration. Every protocol config of the
+// repository implements it; Run is the only caller of Execute.
+type Spec interface {
+	// Protocol returns the spec's short name, used as Report.Protocol and
+	// as the protocol column of generic tables.
+	Protocol() string
+	// Execute runs the protocol under the given options and returns the
+	// unified report. Run stamps Protocol, Seed, Workers and Wall; Execute
+	// fills everything else.
+	Execute(o *Options) (Report, error)
+}
+
+// Run executes a protocol spec under the given options and returns its
+// unified report. The report is a pure function of (spec, seed): the worker
+// budget, the engine choice (under the perfect-sync network) and shared
+// budgets only change wall-clock time.
+func Run(spec Spec, opts ...Option) (Report, error) {
+	if spec == nil {
+		return Report{}, fmt.Errorf("run: nil spec")
+	}
+	o := &Options{Workers: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.Workers < 1 {
+		return Report{}, fmt.Errorf("run: workers %d must be at least 1", o.Workers)
+	}
+	if o.Budget == nil {
+		b, err := par.NewBudget(o.Workers)
+		if err != nil {
+			return Report{}, err
+		}
+		o.Budget = b
+	}
+	start := time.Now()
+	rep, err := spec.Execute(o)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Protocol = spec.Protocol()
+	rep.Seed = o.Seed
+	rep.Workers = o.Workers
+	rep.Wall = time.Since(start)
+	if rep.Rounds == 0 {
+		rep.Rounds = len(rep.Trajectory)
+	}
+	if o.Trace != nil {
+		for i, v := range rep.Trajectory {
+			o.Trace(i+1, v)
+		}
+	}
+	return rep, nil
+}
+
+// SumSent totals a per-round message history; protocols use it to fill
+// Report.Messages when the engine does not count traffic itself.
+func SumSent(sent []int) int64 {
+	var total int64
+	for _, v := range sent {
+		total += int64(v)
+	}
+	return total
+}

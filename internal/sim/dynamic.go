@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/overlay"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -52,8 +53,10 @@ func RunDynamicDHT(scale Scale, seed uint64) (DynamicResult, error) {
 // each non-source node is replaced with probability p: its ring position is
 // resampled and it forgets the rumor (a new peer reusing the id). Each
 // repetition is one harness job seeded from (seed, churn-rate index,
-// repetition); repetitions run serially inside their job (Arranger workers
-// stay at 1) because the harness grain already saturates the cores.
+// repetition); inside a job, every Arrange draws spare tokens from the
+// harness's shared worker budget, so once the sweep's tail leaves cores
+// idle the remaining repetitions parallelize their rounds — the Arranger
+// is worker-count independent, so the numbers cannot move.
 func RunDynamicDHTPar(scale Scale, seed uint64, workers int) (DynamicResult, error) {
 	n, reps, rounds := 512, 8, 120
 	if scale == ScalePaper {
@@ -61,10 +64,10 @@ func RunDynamicDHTPar(scale Scale, seed uint64, workers int) (DynamicResult, err
 	}
 	probs := []float64{0, 0.005, 0.02}
 	outs := make([]churnOutcome, len(probs)*reps)
-	err := forEach(len(outs), workers, func(j int) error {
+	err := forEach(len(outs), workers, func(j int, b *par.Budget) error {
 		pi, rep := j/reps, j%reps
 		s := rng.New(rng.Derive(seed, domainDynamic, uint64(pi), uint64(rep)))
-		out, err := spreadOverChurningRing(n, probs[pi], rounds, 1, s)
+		out, err := spreadOverChurningRing(n, probs[pi], rounds, b, s)
 		if err != nil {
 			return err
 		}
@@ -103,10 +106,11 @@ type churnOutcome struct {
 }
 
 // spreadOverChurningRing runs one spreading instance for a fixed number of
-// rounds under sustained churn. Dating rounds run on an Arranger with the
-// given worker count; since the Arranger is worker-count independent and
-// each round's seed is a single draw from s, the outcome depends only on s.
-func spreadOverChurningRing(n int, replaceProb float64, rounds, workers int, s *rng.Stream) (churnOutcome, error) {
+// rounds under sustained churn. Each dating round's Arrange draws workers
+// from the shared budget (nil = serial); since the Arranger is worker-count
+// independent and each round's seed is a single draw from s, the outcome
+// depends only on s.
+func spreadOverChurningRing(n int, replaceProb float64, rounds int, b *par.Budget, s *rng.Stream) (churnOutcome, error) {
 	var out churnOutcome
 	ring, err := overlay.NewDynamicRing(n, s)
 	if err != nil {
@@ -144,7 +148,7 @@ func spreadOverChurningRing(n int, replaceProb float64, rounds, workers int, s *
 				}
 			}
 		}
-		dates, err := arr.Arrange(supply, demand, s.Uint64(), workers)
+		dates, err := arr.ArrangeShared(supply, demand, s.Uint64(), b)
 		if err != nil {
 			return out, err
 		}

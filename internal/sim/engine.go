@@ -7,6 +7,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/run"
 	"repro/internal/stats"
 )
 
@@ -20,11 +21,15 @@ type EngineRow struct {
 }
 
 // EngineResult is the full round-engine benchmark: one serial baseline row
-// (workers = 1) followed by the requested parallel worker counts.
+// (workers = 1) followed by the requested parallel worker counts. Points
+// carries the generic Report-derived perf-trajectory records the
+// BENCH_engine.json file collects (protocol "engine-round"; Messages is
+// the number of requests scattered).
 type EngineResult struct {
-	N      int         `json:"n"`
-	Rounds int         `json:"rounds"`
-	Rows   []EngineRow `json:"rows"`
+	N      int          `json:"n"`
+	Rounds int          `json:"rounds"`
+	Rows   []EngineRow  `json:"rows"`
+	Points []BenchPoint `json:"points"`
 }
 
 // Table renders the benchmark in the repository's table shape.
@@ -106,7 +111,8 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 			}
 			dates += len(out.Dates)
 		}
-		sec := time.Since(start).Seconds() / float64(rounds)
+		elapsed := time.Since(start)
+		sec := elapsed.Seconds() / float64(rounds)
 
 		row := EngineRow{
 			Workers:        workers,
@@ -121,6 +127,18 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 			row.Speedup = serialSec / sec
 		}
 		res.Rows = append(res.Rows, row)
+		// The bench point rides the unified Report shape: the engine is not
+		// a protocol, but its timed rounds fit the same record every other
+		// BENCH writer emits.
+		res.Points = append(res.Points, PointFromReport(n, run.Report{
+			Protocol:  "engine-round",
+			Rounds:    rounds,
+			Completed: true,
+			Messages:  int64(2*n) * int64(rounds),
+			Wall:      elapsed,
+			Seed:      seed,
+			Workers:   workers,
+		}))
 	}
 	return res, nil
 }

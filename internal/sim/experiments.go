@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/overlay"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -487,18 +488,20 @@ func RunStorage(scale Scale, seed uint64) (StorageResult, error) {
 
 // RunStoragePar replicates every node's objects over the dating service and
 // reports convergence time and final load balance. Each repetition is one
-// harness job seeded from (seed, repetition).
+// harness job seeded from (seed, repetition); inside a job, every round's
+// Arrange draws spare tokens from the harness's shared worker budget (the
+// Arranger is worker-count independent, so the numbers cannot move).
 func RunStoragePar(scale Scale, seed uint64, workers int) (StorageResult, error) {
 	n, reps := 100, 10
 	if scale == ScalePaper {
 		n, reps = 1000, 50
 	}
 	results := make([]storage.Result, reps)
-	err := forEach(reps, workers, func(rep int) error {
+	err := forEach(reps, workers, func(rep int, b *par.Budget) error {
 		s := rng.New(rng.Derive(seed, domainStorage, uint64(rep)))
-		r, err := storage.Run(storage.Config{
+		r, err := storage.RunShared(storage.Config{
 			N: n, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 12, RoundCap: 2,
-		}, s)
+		}, s, b)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/overlay"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -90,7 +91,7 @@ func RunFigure1Par(scale Scale, seed uint64, workers int) (Figure1Result, error)
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
 
 	accs := make([]stats.Accumulator, len(ns)*perN)
-	err := forEach(len(jobs), workers, func(j int) error {
+	err := forEach(len(jobs), workers, func(j int, _ *par.Budget) error {
 		ni, k := jobs[j].ni, jobs[j].k
 		slot := ni*perN + k
 		n := ns[ni]

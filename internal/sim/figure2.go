@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/gossip"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -80,7 +81,7 @@ func RunFigure2Par(scale Scale, seed uint64, workers int) (Figure2Result, error)
 	// order, so the table is unaffected by the schedule.
 	sort.SliceStable(coords, func(i, j int) bool { return ns[coords[i].ni] > ns[coords[j].ni] })
 	rounds := make([]float64, len(coords))
-	err := forEach(len(coords), workers, func(j int) error {
+	err := forEach(len(coords), workers, func(j int, _ *par.Budget) error {
 		c := coords[j]
 		n := ns[c.ni]
 		s := rng.New(rng.Derive(seed, domainFigure2, uint64(c.ni), uint64(c.ai), uint64(c.rep)))

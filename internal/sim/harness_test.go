@@ -5,7 +5,10 @@ import (
 	"hash/fnv"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/par"
 )
 
 // tableHash fingerprints a rendered table for the golden pins below.
@@ -172,7 +175,7 @@ func TestForEach(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		const jobs = 100
 		hits := make([]int, jobs)
-		if err := forEach(jobs, workers, func(j int) error {
+		if err := forEach(jobs, workers, func(j int, _ *par.Budget) error {
 			hits[j]++ // distinct slots: no lock needed
 			return nil
 		}); err != nil {
@@ -186,7 +189,7 @@ func TestForEach(t *testing.T) {
 	}
 	// Determinism of failure: the reported error is the lowest-index one,
 	// and later jobs still ran (no early abort reordering results).
-	err := forEach(10, 4, func(j int) error {
+	err := forEach(10, 4, func(j int, _ *par.Budget) error {
 		if j == 7 || j == 3 {
 			return fmt.Errorf("job %d failed", j)
 		}
@@ -195,10 +198,63 @@ func TestForEach(t *testing.T) {
 	if err == nil || err.Error() != "job 3 failed" {
 		t.Fatalf("err = %v, want the lowest-index failure", err)
 	}
-	if err := forEach(5, 0, func(int) error { return nil }); err == nil {
+	if err := forEach(5, 0, func(int, *par.Budget) error { return nil }); err == nil {
 		t.Error("accepted workers = 0")
 	}
-	if err := forEach(0, 4, func(int) error { return fmt.Errorf("ran") }); err != nil {
+	if err := forEach(0, 4, func(int, *par.Budget) error { return fmt.Errorf("ran") }); err != nil {
 		t.Errorf("zero jobs: %v", err)
+	}
+}
+
+func TestForEachBudgetNoOversubscription(t *testing.T) {
+	// The harness workers and the inner engines of their jobs share one
+	// budget: the total number of concurrently computing workers — one per
+	// active job plus whatever extras its inner Use grabbed — must never
+	// exceed the budget, and leftover tokens must actually reach jobs.
+	const workers = 4
+	var cur, peak atomic.Int64
+	err := forEach(32, workers, func(j int, b *par.Budget) error {
+		if b.Total() != workers {
+			return fmt.Errorf("job budget sized %d, want %d", b.Total(), workers)
+		}
+		for i := 0; i < 8; i++ {
+			b.Use(0, func(w int) {
+				c := cur.Add(int64(w))
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				cur.Add(int64(-w))
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrent workers %d exceeds the harness budget of %d", p, workers)
+	}
+
+	// Fewer jobs than workers: the spare tokens must flow to the jobs'
+	// inner engines. With 2 jobs on a budget of 4, two tokens are spare
+	// from the start and TryAcquire hands them out whole, so at least one
+	// inner round must see more than one worker.
+	var sawParallel atomic.Bool
+	err = forEach(2, workers, func(j int, b *par.Budget) error {
+		b.Use(0, func(w int) {
+			if w > 1 {
+				sawParallel.Store(true)
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawParallel.Load() {
+		t.Fatal("no job's inner round received leftover workers")
 	}
 }

@@ -2,12 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
-	"time"
 
 	"repro/internal/bandwidth"
 	"repro/internal/gossip"
 	"repro/internal/live"
+	"repro/internal/run"
 	"repro/internal/stats"
 )
 
@@ -55,16 +56,20 @@ type liveModel struct {
 	net  live.NetModel
 }
 
-// liveModels is the sensitivity axis: the paper-faithful synchronous
-// network, then progressively more hostile conditions. Spread time should
-// degrade gracefully, never collapse — the protocol is oblivious, so no
-// message is load-bearing.
-func liveModels(seed uint64) []liveModel {
+// liveModels is the sensitivity axis at peer count n: the paper-faithful
+// synchronous network, then progressively more hostile conditions. Spread
+// time should degrade gracefully, never collapse — the protocol is
+// oblivious, so no message is load-bearing. The ring-latency row is the
+// NetModel-asymmetry example: per-pair latency proportional to ring
+// distance over a DHT-style embedding of the n peers, so a request's
+// flight time depends on which rendezvous it happens to land on.
+func liveModels(seed uint64, n int) []liveModel {
 	return []liveModel{
 		{"sync", nil},
 		{"latency-2", live.FixedLatency{Rounds: 2}},
 		{"latency-4", live.FixedLatency{Rounds: 4}},
 		{"geom-p0.5", live.GeomLatency{P: 0.5, Cap: 8}},
+		{"ring-latency", live.RingLatency{Pos: live.UniformRing(n, seed+2), Scale: 8, Max: 5}},
 		{"loss-1%", live.Loss{P: 0.01}},
 		{"loss-10%", live.Loss{P: 0.10}},
 		{"churn-10%", live.EpochChurn{Seed: seed + 1, Epoch: 6, DownFrac: 0.10}},
@@ -92,7 +97,7 @@ func RunLiveScaled(scale Scale, seed uint64, workers int) (LiveSweepResult, erro
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	for _, m := range liveModels(seed) {
+	for _, m := range liveModels(seed, nSens) {
 		row, err := runLiveRow(nSens, m.name, m.net, workers, seed)
 		if err != nil {
 			return LiveSweepResult{}, err
@@ -102,34 +107,27 @@ func RunLiveScaled(scale Scale, seed uint64, workers int) (LiveSweepResult, erro
 	return res, nil
 }
 
-// runLiveRow executes one full message-level spreading run and times it.
+// runLiveRow executes one full message-level spreading run through the
+// unified runner and derives the row from its Report.
 func runLiveRow(n int, model string, net live.NetModel, shards int, seed uint64) (LiveRow, error) {
-	start := time.Now()
-	r, err := gossip.RunLive(gossip.LiveConfig{
-		Profile: bandwidth.Homogeneous(n, 1),
-		Seed:    seed,
-		Engine:  gossip.LiveSharded,
-		Shards:  shards,
-		Net:     net,
-	})
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	rep, err := run.Run(gossip.LiveConfig{Profile: bandwidth.Homogeneous(n, 1)},
+		run.WithSeed(seed), run.WithWorkers(shards), run.WithNet(net))
 	if err != nil {
 		return LiveRow{}, fmt.Errorf("sim: live n=%d model=%s: %w", n, model, err)
 	}
-	sec := time.Since(start).Seconds()
-	row := LiveRow{
+	p := PointFromReport(n, rep)
+	return LiveRow{
 		N:            n,
 		Model:        model,
 		Shards:       shards,
-		DatingRounds: r.DatingRounds,
-		Completed:    r.Completed,
-	}
-	if r.DatingRounds > 0 {
-		row.SecPerDating = sec / float64(r.DatingRounds)
-	}
-	if sec > 0 {
-		row.MsgsPerSec = float64(r.Traffic.Sent) / sec
-	}
-	return row, nil
+		DatingRounds: rep.Rounds,
+		Completed:    rep.Completed,
+		SecPerDating: p.SecondsPerRound,
+		MsgsPerSec:   p.MessagesPerSecond,
+	}, nil
 }
 
 // LiveBenchRow reports one engine configuration of the live benchmark.
@@ -148,10 +146,13 @@ type LiveBenchRow struct {
 // perfect-sync model. All runs share per-peer stream derivation, so their
 // informed-count trajectories must be bit-identical; Identical reports
 // that check (a cheap cross-engine smoke test on every benchmark run).
+// Points carries the generic Report-derived perf-trajectory records the
+// BENCH_live.json file collects.
 type LiveBenchResult struct {
 	N         int            `json:"n"`
 	Identical bool           `json:"identical_across_engines"`
 	Rows      []LiveBenchRow `json:"rows"`
+	Points    []BenchPoint   `json:"points"`
 }
 
 // Table renders the benchmark in the repository's table shape.
@@ -179,64 +180,64 @@ func (r LiveBenchResult) Table() *stats.Table {
 
 // RunLiveBench profiles message-level spreading at a single n: the sharded
 // runtime at 1 and shards workers, and optionally the legacy goroutine
-// engine as the baseline the speedup column is relative to. It returns an
-// error if any run fails; trajectory disagreement is reported in
-// Identical, not as an error, so the caller decides whether it gates.
+// engine as the baseline the speedup column is relative to. Every run goes
+// through the unified runner, and rows and bench points derive from its
+// Report. It returns an error if any run fails; trajectory disagreement is
+// reported in Identical, not as an error, so the caller decides whether it
+// gates.
 func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, error) {
 	if n <= 0 {
 		return LiveBenchResult{}, fmt.Errorf("sim: live bench needs positive n, got %d", n)
 	}
 	type runSpec struct {
 		engine string
-		cfg    gossip.LiveConfig
+		shards int
+		opts   []run.Option
 	}
-	base := gossip.LiveConfig{Profile: bandwidth.Homogeneous(n, 1), Seed: seed}
 	specs := []runSpec{}
 	shardCounts := []int{1}
 	if shards > 1 {
 		shardCounts = append(shardCounts, shards)
 	}
 	for _, sc := range shardCounts {
-		cfg := base
-		cfg.Engine, cfg.Shards = gossip.LiveSharded, sc
-		specs = append(specs, runSpec{"sharded", cfg})
+		specs = append(specs, runSpec{"sharded", sc,
+			[]run.Option{run.WithSeed(seed), run.WithWorkers(sc), run.WithEngine(run.EngineSharded)}})
 	}
 	if baseline {
-		cfg := base
-		cfg.Engine, cfg.Concurrent = gossip.LiveGoroutine, true
-		specs = append(specs, runSpec{"goroutine", cfg})
+		specs = append(specs, runSpec{"goroutine", 0,
+			[]run.Option{run.WithSeed(seed), run.WithEngine(run.EngineGoroutine)}})
 	}
 
 	res := LiveBenchResult{N: n, Identical: true}
 	var ref []int
 	var goroutineSec float64
 	for i, spec := range specs {
-		start := time.Now()
-		r, err := gossip.RunLive(spec.cfg)
+		rep, err := run.Run(gossip.LiveConfig{Profile: bandwidth.Homogeneous(n, 1)}, spec.opts...)
 		if err != nil {
 			return LiveBenchResult{}, err
 		}
-		sec := time.Since(start).Seconds()
-		if !r.Completed {
+		if !rep.Completed {
 			return LiveBenchResult{}, fmt.Errorf("sim: live bench %s/%d incomplete after %d dating rounds",
-				spec.engine, spec.cfg.Shards, r.DatingRounds)
+				spec.engine, spec.shards, rep.Rounds)
 		}
 		if i == 0 {
-			ref = r.History
-		} else if !slices.Equal(r.History, ref) {
+			ref = rep.Trajectory
+		} else if !slices.Equal(rep.Trajectory, ref) {
 			res.Identical = false
 		}
+		p := PointFromReport(n, rep)
 		row := LiveBenchRow{
 			Engine:       spec.engine,
-			Shards:       spec.cfg.Shards,
-			DatingRounds: r.DatingRounds,
-			SecPerDating: sec / float64(r.DatingRounds),
-			MsgsPerSec:   float64(r.Traffic.Sent) / sec,
+			Shards:       spec.shards,
+			DatingRounds: rep.Rounds,
+			SecPerDating: p.SecondsPerRound,
+			MsgsPerSec:   p.MessagesPerSecond,
 		}
 		if spec.engine == "goroutine" {
 			goroutineSec = row.SecPerDating
 		}
 		res.Rows = append(res.Rows, row)
+		res.Points = append(res.Points, p)
 	}
 	if goroutineSec > 0 {
 		for i := range res.Rows {

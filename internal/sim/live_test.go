@@ -11,7 +11,7 @@ func TestRunLiveScaledQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two scale rows plus one sensitivity row per model.
-	wantRows := 2 + len(liveModels(42))
+	wantRows := 2 + len(liveModels(42, 2000))
 	if len(res.Rows) != wantRows {
 		t.Fatalf("got %d rows, want %d", len(res.Rows), wantRows)
 	}

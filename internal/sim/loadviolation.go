@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gossip"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -55,7 +56,7 @@ func RunLoadViolationPar(scale Scale, seed uint64, workers int) (LoadResult, err
 	algos := gossip.Algorithms()
 	type outcome struct{ in, out, rounds float64 }
 	outs := make([]outcome, len(algos)*reps)
-	err := forEach(len(outs), workers, func(j int) error {
+	err := forEach(len(outs), workers, func(j int, _ *par.Budget) error {
 		ai, rep := j/reps, j%reps
 		s := rng.New(rng.Derive(seed, domainLoads, uint64(ai), uint64(rep)))
 		r, err := gossip.Run(gossip.Config{Algorithm: algos[ai], N: n, Source: 0}, s)

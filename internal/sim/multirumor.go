@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gossip"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -54,7 +55,7 @@ func RunMultiRumorExperimentPar(scale Scale, seed uint64, workers int) (MultiRum
 	rumorCounts := []int{1, 2, 4, 8}
 	type outcome struct{ rounds, perRumor float64 }
 	outs := make([]outcome, len(rumorCounts)*reps)
-	err := forEach(len(outs), workers, func(j int) error {
+	err := forEach(len(outs), workers, func(j int, _ *par.Budget) error {
 		ri, rep := j/reps, j%reps
 		rumors := rumorCounts[ri]
 		injections := make([]gossip.Injection, rumors)

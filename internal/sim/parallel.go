@@ -20,11 +20,24 @@ package sim
 // floating-point reduction order is fixed too: published tables are
 // byte-identical for every worker count. The golden tests in
 // harness_test.go pin that invariant down.
+//
+// The harness and the engines inside jobs share one par.Budget: each
+// harness worker goroutine holds a token for its lifetime, and a job that
+// wants inner parallelism (a churning-ring Arrange, a storage round) grabs
+// the pool's spare tokens for the duration of that round instead of
+// pinning its inner workers to 1. While all harness workers are busy there
+// are no spares and jobs run serially inside, exactly as before; when the
+// job queue drains below the worker count, exiting workers release their
+// tokens and the still-running jobs' rounds soak up the leftover cores.
+// Budget-fed engines are worker-count independent, so none of this can
+// change a published number.
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // Seed-derivation domain tags, one per experiment surface, keeping job
@@ -40,24 +53,31 @@ const (
 	domainStorage        uint64 = 0x61
 )
 
-// forEach runs jobs 0..jobs-1 across at most workers goroutines, work-
-// stealing from a shared counter. Each job must write only to its own
-// result slot. All jobs run even when one fails; the error reported is the
-// one with the lowest job index, so failures are as deterministic as
-// results.
-func forEach(jobs, workers int, run func(job int) error) error {
+// forEach runs jobs 0..jobs-1 across a worker budget of the given size,
+// work-stealing from a shared counter. Each job must write only to its own
+// result slot; the budget passed to it holds the pool's spare tokens for
+// opportunistic inner parallelism (see the package comment). All jobs run
+// even when one fails; the error reported is the one with the lowest job
+// index, so failures are as deterministic as results.
+func forEach(jobs, workers int, run func(job int, b *par.Budget) error) error {
 	if workers < 1 {
 		return fmt.Errorf("sim: harness needs workers >= 1, got %d", workers)
 	}
-	if workers > jobs {
-		workers = jobs
+	b, err := par.NewBudget(workers)
+	if err != nil {
+		return err
 	}
-	if workers <= 1 {
+	g := workers
+	if g > jobs {
+		g = jobs
+	}
+	if g <= 1 {
 		// Same contract as the concurrent path: every job runs, the
-		// lowest-index error wins.
+		// lowest-index error wins. The budget still carries workers-1
+		// spares, so a single expensive job can parallelize inside.
 		var first error
 		for j := 0; j < jobs; j++ {
-			if err := run(j); err != nil && first == nil {
+			if err := run(j, b); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -65,20 +85,31 @@ func forEach(jobs, workers int, run func(job int) error) error {
 	}
 	errs := make([]error, jobs)
 	var next atomic.Int64
+	steal := func() {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= jobs {
+				return
+			}
+			errs[j] = run(j, b)
+		}
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	// The calling goroutine is the budget's implicit worker; each extra
+	// harness worker holds one token until it runs out of jobs, then frees
+	// it for the inner engines of the jobs still running.
+	for w := 1; w < g; w++ {
+		if b.TryAcquire(1) == 0 {
+			break // cannot happen: g <= workers; defensive only
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= jobs {
-					return
-				}
-				errs[j] = run(j)
-			}
+			defer b.Release(1)
+			steal()
 		}()
 	}
+	steal()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

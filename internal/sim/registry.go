@@ -56,5 +56,6 @@ func Registry() []Experiment {
 		{"dynamicdht", "E13: spreading over a churning DHT", parTabler(RunDynamicDHTPar)},
 		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
 		{"live", "sharded message runtime: scale sweep + latency/loss sensitivity", parTabler(RunLiveScaled)},
+		{"protocols", "every protocol via the unified run.Run entrypoint", parTabler(RunProtocols)},
 	}
 }

@@ -4,8 +4,8 @@ import "testing"
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, DESIGN.md lists 13 plus the engine and live benchmarks", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, DESIGN.md lists 13 plus the engine and live benchmarks and the unified-runner sweep", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

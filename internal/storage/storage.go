@@ -15,7 +15,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/run"
 )
 
 // Config parameterizes a replication run.
@@ -42,6 +44,7 @@ type Result struct {
 	Rounds        int
 	Completed     bool
 	PlacedHistory []int // cumulative placed replicas per round
+	SentHistory   []int // dates arranged per round (useful or wasted)
 	Transfers     int   // dates used to ship a block
 	WastedDates   int   // dates where the pair had nothing placeable
 	MaxOccupancy  int   // fullest node at the end
@@ -73,9 +76,47 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// Protocol implements run.Spec.
+func (c Config) Protocol() string { return "storage" }
+
+// Execute implements run.Spec: the run stream derives from the root seed
+// under DomainStorage and every dating round draws its workers from the
+// shared budget (cfg.Workers is ignored). Trajectory is the cumulative
+// placed-replica history; Detail the full Result.
+func (c Config) Execute(o *run.Options) (run.Report, error) {
+	cfg := c
+	cfg.Workers = 0 // the budget drives the Arranger
+	res, err := runBudgeted(cfg, run.StreamFor(o.Seed, run.DomainStorage), o.Budget)
+	if err != nil {
+		return run.Report{}, err
+	}
+	return run.Report{
+		Rounds:     res.Rounds,
+		Completed:  res.Completed,
+		Trajectory: res.PlacedHistory,
+		Sent:       res.SentHistory,
+		Messages:   int64(res.Transfers + res.WastedDates),
+		Detail:     res,
+	}, nil
+}
+
 // Run executes the replication protocol until every object has R replicas
 // or MaxRounds elapses.
 func Run(cfg Config, s *rng.Stream) (Result, error) {
+	return runBudgeted(cfg, s, nil)
+}
+
+// RunShared is Run with a shared worker budget: every round's Arrange runs
+// with the caller's worker plus whatever spare tokens b has at that moment
+// (overriding cfg.Workers). The Arranger is worker-count independent, so
+// budget sharing never changes the result — the experiment harness uses
+// this to let storage repetitions soak up cores its other jobs are done
+// with.
+func RunShared(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
+	return runBudgeted(cfg, s, b)
+}
+
+func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -133,10 +174,17 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 		}
 		// One draw from s seeds the whole round, so the run consumes the
 		// same stream positions at every worker count.
-		dates, err := arr.Arrange(out, in, s.Uint64(), workers)
+		var dates []core.Date
+		var err error
+		if b != nil {
+			dates, err = arr.ArrangeShared(out, in, s.Uint64(), b)
+		} else {
+			dates, err = arr.Arrange(out, in, s.Uint64(), workers)
+		}
 		if err != nil {
 			return Result{}, err
 		}
+		res.SentHistory = append(res.SentHistory, len(dates))
 		for _, d := range dates {
 			owner, host := d.Sender, d.Receiver
 			if owner == host || occupancy[host] >= cfg.SlotsPerNode || outstanding[owner] == 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/overlay"
 	"repro/internal/rng"
+	"repro/internal/run"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 )
@@ -103,9 +104,33 @@ type (
 	// Network is the deterministic round-synchronous message engine.
 	Network = simnet.Network
 
+	// NetworkStats aggregates an engine's traffic counters (messages sent,
+	// dropped, per kind); HandshakeConfig runs report it as Report.Detail.
+	NetworkStats = simnet.Stats
+
 	// Handshake runs the dating service as an explicit three-step message
 	// protocol on a Network, exposing the real control-message overhead.
 	Handshake = core.Handshake
+
+	// HandshakeConfig runs the explicit three-step handshake through the
+	// unified runner: repro.Run(HandshakeConfig{...}).
+	HandshakeConfig = core.HandshakeConfig
+
+	// NetRingLatency is the asymmetric network model: per-pair latency
+	// proportional to ring distance in a DHT-style embedding, so which
+	// rendezvous a request lands on decides how fast its handshake runs.
+	NetRingLatency = live.RingLatency
+
+	// Spec is a runnable protocol configuration; every protocol config of
+	// this package implements it, and Run is its single entrypoint.
+	Spec = run.Spec
+
+	// Report is the unified outcome every protocol emits under Run.
+	Report = run.Report
+
+	// RunOption is a functional option of Run; see WithSeed, WithWorkers,
+	// WithEngine, WithNet and WithTrace.
+	RunOption = run.Option
 )
 
 // Spreading algorithms, in the display order of the paper's Figure 2.
@@ -127,6 +152,68 @@ const (
 	// a NetModel for latency, loss and churn.
 	LiveSharded = gossip.LiveSharded
 )
+
+// Run executes any protocol of this package — rumor spreading
+// (RumorConfig), multi-rumor (MultiRumorConfig), message-level live
+// spreading (LiveConfig), network-coded mongering (MongerConfig),
+// replicated storage (StorageConfig), the explicit dating handshake
+// (HandshakeConfig) — from its config spec plus the orthogonal axes
+// carried by options:
+//
+//	rep, err := repro.Run(repro.RumorConfig{N: 1000, Algorithm: repro.Dating},
+//	    repro.WithSeed(42), repro.WithWorkers(8))
+//	fmt.Println(rep.Rounds, rep.Completed)
+//
+// Seeds replace streams: Run derives every random stream internally from
+// the root seed with the repository's SplitMix64 domain scheme, one domain
+// per protocol, so protocols sharing a seed draw from disjoint stream
+// families and a report is a pure function of (spec, seed). The worker
+// budget (WithWorkers), the execution substrate (WithEngine, under the
+// perfect-sync network) and shared budgets are pure speed knobs — the
+// seed-compatibility tests pin Run's output bit-for-bit against the legacy
+// entrypoints at several worker counts.
+//
+// Under Run, the config fields that used to carry the orthogonal axes
+// (RumorConfig.Workers, LiveConfig.Seed/Engine/Shards/Net/Concurrent,
+// MultiRumorConfig.Workers, StorageConfig.Workers, MongerConfig.Workers)
+// are ignored; the options are the single source of truth.
+func Run(spec Spec, opts ...RunOption) (Report, error) { return run.Run(spec, opts...) }
+
+// WithSeed sets the run's root seed (default 0); two runs of one spec and
+// seed are bit-identical whatever the other options say.
+func WithSeed(seed uint64) RunOption { return run.WithSeed(seed) }
+
+// WithWorkers sets the run's total worker budget (default 1): dating
+// rounds draw spare workers from one shared pool, and the sharded live
+// runtime uses it as its shard count. Results never depend on it.
+func WithWorkers(k int) RunOption { return run.WithWorkers(k) }
+
+// WithEngine selects the execution substrate for live runs: LiveSharded
+// (the default under Run) or LiveGoroutine. Under the perfect-sync network
+// both substrates produce the identical report.
+func WithEngine(e LiveEngine) RunOption {
+	if e == LiveGoroutine {
+		return run.WithEngine(run.EngineGoroutine)
+	}
+	return run.WithEngine(run.EngineSharded)
+}
+
+// WithNet plugs a network model — latency, loss, churn, ring-distance
+// asymmetry — into a live run; nil is the paper's perfect-sync model.
+func WithNet(m NetModel) RunOption { return run.WithNet(m) }
+
+// WithTrace registers a per-round observer: fn is called once per protocol
+// round, in round order, with the 1-based round number and that round's
+// trajectory value (informed nodes, placed replicas, ...). The calls
+// replay the recorded trajectory after the run completes — uniform for
+// every protocol — so use fn to render progress histories; to watch a long
+// run live, attach a protocol-level hook such as RumorConfig.OnRound.
+func WithTrace(fn func(round, progress int)) RunOption { return run.WithTrace(fn) }
+
+// UniformRingEmbedding places n peers at uniform positions on the unit
+// ring, derived from seed — the standard embedding for NetRingLatency when
+// no real overlay coordinates exist.
+func UniformRingEmbedding(n int, seed uint64) []float64 { return live.UniformRing(n, seed) }
 
 // NewStream returns a deterministic random stream seeded with seed.
 func NewStream(seed uint64) *Stream { return rng.New(seed) }
@@ -183,6 +270,10 @@ func NewDatingService(p Profile, sel Selector) (*DatingService, error) {
 //		res, err := svc.RunRoundParallel(streams, workers)
 //		...
 //	}
+//
+// Deprecated: prefer DatingService.RunRoundSeeded(seed, workers), whose
+// output does not depend on the worker count, or the unified Run
+// entrypoint for whole protocols. RunParallelRound remains for one release.
 func RunParallelRound(svc *DatingService, seed uint64, workers int) (RoundResult, error) {
 	return svc.RunRoundParallel(rng.NewStreams(seed, workers), workers)
 }
@@ -209,6 +300,11 @@ func ArrangeDates(out, in []int, sel Selector, s *Stream) ([]Date, error) {
 func NewArranger(sel Selector) (*Arranger, error) { return core.NewArranger(sel) }
 
 // SpreadRumor runs one rumor-spreading simulation.
+//
+// Deprecated: use Run(cfg, WithSeed(seed)) — the unified runner derives the
+// stream internally and returns the unified Report (the full RumorResult
+// rides in Report.Detail). SpreadRumor remains as a thin wrapper for one
+// release.
 func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {
 	return gossip.Run(cfg, s)
 }
@@ -219,23 +315,37 @@ func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {
 // sharded million-peer runtime (LiveSharded), which also accepts a
 // NetModel for latency, loss and churn. Under the perfect-sync model every
 // substrate yields bit-identical results for the same seed.
+//
+// Deprecated: use Run(cfg, WithSeed(seed), WithWorkers(shards),
+// WithEngine(...), WithNet(...)) — the axes buried in LiveConfig (Seed,
+// Engine, Shards, Net, Concurrent) become options there. SpreadRumorLive
+// remains as a thin wrapper for one release.
 func SpreadRumorLive(cfg LiveConfig) (LiveResult, error) {
 	return gossip.RunLive(cfg)
 }
 
 // SpreadMultiRumor spreads several rumors injected over time, each date
 // carrying one unit-size rumor.
+//
+// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
+// for one release.
 func SpreadMultiRumor(cfg MultiRumorConfig, s *Stream) (MultiRumorResult, error) {
 	return gossip.RunMultiRumor(cfg, s)
 }
 
 // Monger broadcasts a multi-block message with network coding over the
 // dating service (Section 5).
+//
+// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
+// for one release.
 func Monger(cfg MongerConfig, s *Stream) (MongerResult, error) {
 	return coding.RunMonger(cfg, s)
 }
 
 // Replicate runs the replicated-storage protocol (Section 5).
+//
+// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
+// for one release.
 func Replicate(cfg StorageConfig, s *Stream) (StorageResult, error) {
 	return storage.Run(cfg, s)
 }

@@ -1,0 +1,255 @@
+package repro
+
+// Seed-compatibility golden tests for the unified runner: for every
+// protocol, Run(spec, WithSeed(s)) must be bit-identical to the legacy
+// *Stream-based entrypoint fed the stream Run derives internally
+// (run.StreamFor(s, domain)), and bit-identical across worker budgets —
+// the whole point of the seed-first API is that *no* option other than the
+// seed can move a number. The tests run each protocol at n = 17 (degenerate
+// small networks exercise every edge path) and n = 1000.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/run"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+)
+
+const compatSeed = 0xC0FFEE
+
+var compatSizes = []int{17, 1000}
+
+// stripTiming clears the fields that legitimately vary between identical
+// runs (wall clock, requested budget), so reports can be DeepEqual-ed.
+func stripTiming(r Report) Report {
+	r.Wall = 0
+	r.Workers = 0
+	return r
+}
+
+// runWorkersInvariant asserts that the report is bit-identical for worker
+// budgets 1, 2 and 8, and returns the workers=1 report.
+func runWorkersInvariant(t *testing.T, spec Spec, opts ...RunOption) Report {
+	t.Helper()
+	var ref Report
+	for i, w := range []int{1, 2, 8} {
+		rep, err := Run(spec, append(opts, WithSeed(compatSeed), WithWorkers(w))...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			ref = rep
+			continue
+		}
+		if !reflect.DeepEqual(stripTiming(rep), stripTiming(ref)) {
+			t.Fatalf("%s: workers=%d report differs from workers=1", spec.Protocol(), w)
+		}
+	}
+	return ref
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeedCompatRumor(t *testing.T) {
+	for _, n := range compatSizes {
+		rep := runWorkersInvariant(t, RumorConfig{Algorithm: Dating, N: n})
+		legacy, err := gossip.Run(gossip.Config{Algorithm: gossip.Dating, N: n, Workers: 1},
+			run.StreamFor(compatSeed, run.DomainRumor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: Run result differs from legacy SpreadRumor path", n)
+		}
+		if rep.Rounds != legacy.Rounds || rep.Completed != legacy.Completed ||
+			!intsEqual(rep.Trajectory, legacy.History) || !intsEqual(rep.Sent, legacy.SentHistory) ||
+			rep.MaxInLoad != legacy.MaxInLoad || rep.MaxOutLoad != legacy.MaxOutLoad {
+			t.Fatalf("n=%d: report fields disagree with the legacy result", n)
+		}
+	}
+}
+
+func TestSeedCompatRumorBaseline(t *testing.T) {
+	// Baseline algorithms ignore the worker budget entirely but must still
+	// reproduce the legacy stream path from the derived seed.
+	for _, n := range compatSizes {
+		rep := runWorkersInvariant(t, RumorConfig{Algorithm: Push, N: n})
+		legacy, err := gossip.Run(gossip.Config{Algorithm: gossip.Push, N: n},
+			run.StreamFor(compatSeed, run.DomainRumor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: push baseline differs from legacy path", n)
+		}
+	}
+}
+
+func TestSeedCompatMultiRumor(t *testing.T) {
+	for _, n := range compatSizes {
+		inj := []Injection{{Round: 1, Source: 0}, {Round: 3, Source: n / 2}, {Round: 4, Source: n - 1}}
+		rep := runWorkersInvariant(t, MultiRumorConfig{N: n, Injections: inj})
+		legacy, err := gossip.RunMultiRumor(gossip.MultiRumorConfig{N: n, Injections: inj, Workers: 1},
+			run.StreamFor(compatSeed, run.DomainMulti))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: Run result differs from legacy SpreadMultiRumor path", n)
+		}
+		if !intsEqual(rep.Trajectory, legacy.KnowledgeHist) {
+			t.Fatalf("n=%d: trajectory disagrees with the legacy knowledge history", n)
+		}
+	}
+}
+
+func TestSeedCompatMonger(t *testing.T) {
+	for _, n := range compatSizes {
+		cfg := MongerConfig{N: n, Blocks: 4, BlockSize: 16, PayloadSeed: 9}
+		rep := runWorkersInvariant(t, cfg)
+		lcfg := coding.MongerConfig{N: n, Blocks: 4, BlockSize: 16, PayloadSeed: 9, Workers: 1}
+		legacy, err := coding.RunMonger(lcfg, run.StreamFor(compatSeed, run.DomainMonger))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: Run result differs from legacy Monger path", n)
+		}
+		if !rep.Completed {
+			t.Fatalf("n=%d: mongering incomplete", n)
+		}
+	}
+}
+
+func TestSeedCompatStorage(t *testing.T) {
+	for _, n := range compatSizes {
+		cfg := StorageConfig{N: n, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4}
+		rep := runWorkersInvariant(t, cfg)
+		lcfg := cfg
+		lcfg.Workers = 1
+		legacy, err := storage.Run(lcfg, run.StreamFor(compatSeed, run.DomainStorage))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: Run result differs from legacy Replicate path", n)
+		}
+		if !intsEqual(rep.Trajectory, legacy.PlacedHistory) {
+			t.Fatalf("n=%d: trajectory disagrees with the legacy placed history", n)
+		}
+	}
+}
+
+func TestSeedCompatLive(t *testing.T) {
+	for _, n := range compatSizes {
+		spec := LiveConfig{Profile: UnitBandwidth(n)}
+		rep := runWorkersInvariant(t, spec)
+		legacy, err := gossip.RunLive(gossip.LiveConfig{
+			Profile: UnitBandwidth(n),
+			Seed:    run.SeedFor(compatSeed, run.DomainLive),
+			Engine:  gossip.LiveSharded,
+			Shards:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detail, legacy) {
+			t.Fatalf("n=%d: Run result differs from legacy SpreadRumorLive path", n)
+		}
+
+		// The engine axis must be invisible too: the goroutine-per-peer
+		// substrate yields the identical report under perfect sync.
+		goro, err := Run(spec, WithSeed(compatSeed), WithEngine(LiveGoroutine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripTiming(goro), stripTiming(rep)) {
+			t.Fatalf("n=%d: goroutine engine report differs from sharded", n)
+		}
+	}
+}
+
+func TestSeedCompatHandshake(t *testing.T) {
+	for _, n := range compatSizes {
+		const rounds = 6
+		rep := runWorkersInvariant(t, HandshakeConfig{Profile: UnitBandwidth(n), Rounds: rounds})
+
+		sel, err := core.NewUniformSelector(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := core.NewHandshake(UnitBandwidth(n), sel, run.SeedFor(compatSeed, run.DomainHandshake))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := simnet.NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var perRound []int
+		for r := 0; r < rounds; r++ {
+			dates, err := h.RunRound(nw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perRound = append(perRound, len(dates))
+		}
+		if !intsEqual(rep.Sent, perRound) {
+			t.Fatalf("n=%d: per-round dates %v differ from the legacy handshake %v", n, rep.Sent, perRound)
+		}
+		if rep.Messages != nw.Stats().Sent {
+			t.Fatalf("n=%d: traffic %d differs from the legacy handshake %d", n, rep.Messages, nw.Stats().Sent)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Error("accepted a nil spec")
+	}
+	if _, err := Run(RumorConfig{N: 64, Algorithm: Dating}, WithWorkers(0)); err == nil {
+		t.Error("accepted a zero worker budget")
+	}
+	if _, err := Run(RumorConfig{}); err == nil {
+		t.Error("accepted an empty rumor config")
+	}
+}
+
+func TestRunTraceReplaysTrajectory(t *testing.T) {
+	var rounds []int
+	var progress []int
+	rep, err := Run(RumorConfig{N: 128, Algorithm: Dating},
+		WithSeed(3), WithTrace(func(round, p int) {
+			rounds = append(rounds, round)
+			progress = append(progress, p)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != rep.Rounds {
+		t.Fatalf("trace saw %d rounds, report has %d", len(rounds), rep.Rounds)
+	}
+	for i := range rounds {
+		if rounds[i] != i+1 {
+			t.Fatalf("trace rounds out of order: %v", rounds)
+		}
+	}
+	if !intsEqual(progress, rep.Trajectory) {
+		t.Fatalf("trace progress %v differs from trajectory %v", progress, rep.Trajectory)
+	}
+}
