@@ -1,0 +1,167 @@
+// Command benchdiff compares a freshly generated BENCH_*.json file against
+// a committed baseline and exits non-zero when any point regressed beyond a
+// tolerance factor — the perf-regression gate of CI.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_engine.json -current BENCH_engine.ci.json [-tolerance 2.5]
+//
+// Points are matched by (protocol, n, workers) key, in order of occurrence
+// (a file may legitimately hold several points with the same key, e.g. the
+// live benchmark's sharded and goroutine rows at the same worker count).
+// A current point regresses when its seconds_per_round exceeds tolerance
+// times the baseline's, or when it reports completed=false. Points present
+// in only one file — a PR changed the benchmark's sizing — are reported but
+// never gate: the gate exists to catch engine slowdowns, not bench
+// reshapes. The default tolerance of 2.5x is deliberately generous so noisy
+// shared CI runners do not flap the gate; genuine algorithmic regressions
+// are typically far larger.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// point mirrors the fields of sim.BenchPoint the gate reads. Memory
+// columns are carried for the report but not gated: HeapSys is a process-
+// global high-water mark, too machine-dependent to threshold.
+type point struct {
+	Protocol        string  `json:"protocol"`
+	N               int     `json:"n"`
+	Workers         int     `json:"workers"`
+	Rounds          int     `json:"rounds"`
+	Completed       bool    `json:"completed"`
+	SecondsPerRound float64 `json:"seconds_per_round"`
+	PeakHeapSysMB   float64 `json:"peak_heap_sys_mb"`
+}
+
+// benchFile is the stable envelope every BENCH_*.json writer emits.
+type benchFile struct {
+	Experiment string `json:"experiment"`
+	Result     struct {
+		Points []point `json:"points"`
+	} `json:"result"`
+}
+
+// verdict is the comparison outcome for one current point.
+type verdict struct {
+	key       string
+	base      point
+	current   point
+	ratio     float64
+	regressed bool
+	unmatched bool
+	reason    string
+}
+
+func (p point) key() string {
+	return fmt.Sprintf("%s n=%d workers=%d", p.Protocol, p.N, p.Workers)
+}
+
+// diffPoints pairs current points with baseline points key by key (in
+// occurrence order within a key) and flags regressions: incomplete runs and
+// s/round blowups beyond the tolerance factor.
+func diffPoints(baseline, current []point, tolerance float64) []verdict {
+	remaining := map[string][]point{}
+	for _, p := range baseline {
+		remaining[p.key()] = append(remaining[p.key()], p)
+	}
+	var out []verdict
+	for _, cur := range current {
+		v := verdict{key: cur.key(), current: cur}
+		if q := remaining[cur.key()]; len(q) > 0 {
+			v.base = q[0]
+			remaining[cur.key()] = q[1:]
+			if v.base.SecondsPerRound > 0 {
+				v.ratio = cur.SecondsPerRound / v.base.SecondsPerRound
+			}
+			switch {
+			case v.base.SecondsPerRound <= 0 || !v.base.Completed:
+				// A zero-timing or incomplete baseline would silently
+				// neuter the gate for this key; fail until the committed
+				// baseline is regenerated.
+				v.regressed = true
+				v.reason = "baseline point has no valid timing — regenerate the committed BENCH file"
+			case !cur.Completed:
+				v.regressed = true
+				v.reason = "run did not complete"
+			case v.ratio > tolerance:
+				v.regressed = true
+				v.reason = fmt.Sprintf("%.2fx slower than baseline (tolerance %.2fx)", v.ratio, tolerance)
+			}
+		} else {
+			v.unmatched = true
+			v.reason = "no baseline point (benchmark reshaped?)"
+		}
+		out = append(out, v)
+	}
+	for key, q := range remaining {
+		for _, b := range q {
+			out = append(out, verdict{key: key, base: b, unmatched: true,
+				reason: "baseline point missing from current run"})
+		}
+	}
+	return out
+}
+
+func readBench(path string) ([]point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Result.Points) == 0 {
+		return nil, fmt.Errorf("%s: no points (experiment %q)", path, f.Experiment)
+	}
+	return f.Result.Points, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "", "committed BENCH_*.json to compare against")
+	curPath := flag.String("current", "", "freshly generated BENCH_*.json")
+	tolerance := flag.Float64("tolerance", 2.5, "maximum allowed s/round slowdown factor")
+	flag.Parse()
+	if *basePath == "" || *curPath == "" || *tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -baseline and -current files and a positive -tolerance")
+		os.Exit(2)
+	}
+
+	base, err := readBench(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := readBench(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, v := range diffPoints(base, cur, *tolerance) {
+		switch {
+		case v.regressed:
+			failed = true
+			fmt.Printf("FAIL  %-40s %.4fs/round vs %.4fs/round baseline — %s\n",
+				v.key, v.current.SecondsPerRound, v.base.SecondsPerRound, v.reason)
+		case v.unmatched:
+			fmt.Printf("skip  %-40s %s\n", v.key, v.reason)
+		default:
+			mem := ""
+			if v.current.PeakHeapSysMB > 0 {
+				mem = fmt.Sprintf("  heap %.0f MB", v.current.PeakHeapSysMB)
+			}
+			fmt.Printf("ok    %-40s %.2fx baseline%s\n", v.key, v.ratio, mem)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed past %.2fx of %s\n", *curPath, *tolerance, *basePath)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func pt(protocol string, n, workers int, sec float64) point {
+	return point{Protocol: protocol, N: n, Workers: workers, Rounds: 3,
+		Completed: true, SecondsPerRound: sec}
+}
+
+// findVerdict returns the first verdict for key produced from a current
+// point (not a baseline-only leftover).
+func findVerdict(t *testing.T, vs []verdict, key string) verdict {
+	t.Helper()
+	for _, v := range vs {
+		if v.key == key && v.current.Protocol != "" {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %q in %+v", key, vs)
+	return verdict{}
+}
+
+func TestDiffPointsGatesSyntheticRegression(t *testing.T) {
+	// The acceptance criterion: a synthetic >2.5x slowdown must fail, a
+	// within-tolerance wobble must not.
+	baseline := []point{
+		pt("engine-round", 200000, 1, 0.020),
+		pt("engine-round", 200000, 2, 0.030),
+	}
+	current := []point{
+		pt("engine-round", 200000, 1, 0.044), // 2.2x: runner noise, passes
+		pt("engine-round", 200000, 2, 0.090), // 3.0x: regression, fails
+	}
+	vs := diffPoints(baseline, current, 2.5)
+	if v := findVerdict(t, vs, "engine-round n=200000 workers=1"); v.regressed {
+		t.Fatalf("2.2x slowdown gated at tolerance 2.5: %+v", v)
+	}
+	if v := findVerdict(t, vs, "engine-round n=200000 workers=2"); !v.regressed {
+		t.Fatalf("3.0x slowdown not gated at tolerance 2.5: %+v", v)
+	}
+}
+
+func TestDiffPointsIncompleteRunFails(t *testing.T) {
+	baseline := []point{pt("live", 100000, 2, 0.03)}
+	current := []point{pt("live", 100000, 2, 0.03)}
+	current[0].Completed = false
+	vs := diffPoints(baseline, current, 2.5)
+	if v := findVerdict(t, vs, "live n=100000 workers=2"); !v.regressed {
+		t.Fatalf("incomplete run not gated: %+v", v)
+	}
+}
+
+func TestDiffPointsDuplicateKeysMatchInOrder(t *testing.T) {
+	// The live bench emits two points with the same (protocol, n, workers)
+	// key — sharded shards=1 and the goroutine baseline. They must pair in
+	// occurrence order: a fast first point must not absorb the second's
+	// regression.
+	baseline := []point{
+		pt("live", 100000, 1, 0.03), // sharded
+		pt("live", 100000, 1, 0.80), // goroutine baseline
+	}
+	current := []point{
+		pt("live", 100000, 1, 0.10), // sharded regressed >2.5x
+		pt("live", 100000, 1, 0.85), // goroutine fine
+	}
+	vs := diffPoints(baseline, current, 2.5)
+	var regressed int
+	for _, v := range vs {
+		if v.regressed {
+			regressed++
+		}
+	}
+	if regressed != 1 {
+		t.Fatalf("want exactly the sharded point gated, got %d regressions: %+v", regressed, vs)
+	}
+}
+
+func TestDiffPointsMalformedBaselineFailsLoudly(t *testing.T) {
+	// A baseline point with zero s/round (or incomplete) must not silently
+	// neuter the gate for its key — it fails until the committed BENCH file
+	// is regenerated.
+	zero := pt("engine-round", 200000, 1, 0)
+	incomplete := pt("engine-round", 200000, 2, 0.02)
+	incomplete.Completed = false
+	baseline := []point{zero, incomplete}
+	current := []point{pt("engine-round", 200000, 1, 9.99), pt("engine-round", 200000, 2, 0.02)}
+	vs := diffPoints(baseline, current, 2.5)
+	if v := findVerdict(t, vs, "engine-round n=200000 workers=1"); !v.regressed {
+		t.Fatalf("zero-timing baseline did not gate: %+v", v)
+	}
+	if v := findVerdict(t, vs, "engine-round n=200000 workers=2"); !v.regressed {
+		t.Fatalf("incomplete baseline did not gate: %+v", v)
+	}
+}
+
+func TestDiffPointsUnmatchedPointsNeverGate(t *testing.T) {
+	// A PR that resizes the benchmark (different n or worker set) must not
+	// trip the gate on unpaired points in either direction.
+	baseline := []point{pt("engine-round", 200000, 1, 0.02), pt("engine-round", 200000, 8, 0.01)}
+	current := []point{pt("engine-round", 400000, 1, 9.99)}
+	for _, v := range diffPoints(baseline, current, 2.5) {
+		if v.regressed {
+			t.Fatalf("unmatched point gated: %+v", v)
+		}
+		if !v.unmatched {
+			t.Fatalf("expected every verdict unmatched, got %+v", v)
+		}
+	}
+}
+
+func TestReadBenchParsesWriterEnvelope(t *testing.T) {
+	// readBench must consume exactly what cmd/datebench -json emits: the
+	// {experiment, seed, result:{points:[...]}} envelope.
+	env := map[string]any{
+		"experiment": "engine",
+		"seed":       42,
+		"result": map[string]any{
+			"points": []point{pt("engine-round", 1000, 1, 0.001)},
+		},
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	points, err := readBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Protocol != "engine-round" || points[0].SecondsPerRound != 0.001 {
+		t.Fatalf("parsed %+v", points)
+	}
+	if _, err := readBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -82,6 +82,25 @@
 //	res := svc.RunRound(s)                        // one round of Algorithm 1
 //	fmt.Println(len(res.Dates), "dates arranged") // ≈ 0.47 * n
 //
+// # Parallelism: destination-range ownership
+//
+// Every flat engine parallelizes a round as a radix-partitioned counting
+// sort. Workers own two kinds of contiguous ranges — a sender shard
+// (balanced by request weight) and a destination range (uniform id cuts).
+// During the scatter each worker records every emitted (destination,
+// sender) pair into the chunk buffer of the destination's owner; a tiny
+// serial exchange (O(workers²), no length-n scan) prefixes the owners'
+// incoming totals into base offsets; then each owner counting-sorts its
+// own destination range with a count array covering only that range,
+// replaying the chunks in worker order so every rendezvous bucket holds
+// its requests in global sender order. Round scratch is O(n + requests)
+// regardless of the worker count — the owners' count arrays partition
+// [0, n) rather than every worker holding a length-n array — and the
+// layout is a pure function of the round's inputs, so results never depend
+// on scheduling. Golden tests pin the engine's output bit-for-bit at
+// workers {1, 2, 4, 8}, and an allocation regression test asserts that
+// first-round bytes do not scale with the worker count.
+//
 // # Worker-count-independent engines
 //
 // The engines underneath Run all share one property: their randomness is
@@ -108,8 +127,11 @@
 // demonstrational one — one goroutine per peer, barrier-synchronized
 // rounds. The sharded runtime (internal/live, the default under Run) is
 // the production-scale one: a fixed pool of shard workers owning
-// contiguous peer ranges, messages counting-sorted between rounds through
-// flat reusable buffers, per-peer streams seeded SplitMix64(seed,
+// contiguous peer ranges, messages counting-sorted between rounds with the
+// engines' radix scatter (shards exchange per-owner index chunks and each
+// owner sorts its own peer range — delivery scratch is O(n + messages)),
+// outgoing buffers prefix-summed into disjoint delivery-ring ranges so the
+// route phase copies in parallel, per-peer streams seeded SplitMix64(seed,
 // peerDomain, peer). Runs are bit-identical for every shard count and
 // across engines. A 10^6-peer spread completes in tens of seconds
 // (examples/livescale); at n=100k the sharded runtime is ~25x faster than

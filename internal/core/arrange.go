@@ -116,12 +116,14 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 	scratch := func(w int) *workerScratch { return &a.ws[w].workerScratch }
 
 	// Scatter: worker w draws destinations for its node shard, one derived
-	// stream per node. Shards are balanced by the round's request weight;
-	// the cuts only affect which worker does the work, never the draws.
+	// stream per node, recording each pair into the chunk of the
+	// destination's owner. Shards are balanced by the round's request
+	// weight; the cuts only affect which worker does the work, never the
+	// draws.
 	a.senderCut = balancedCuts(a.senderCut, n, workers, func(i int) int { return out[i] + in[i] })
 	runPhase(workers, func(w int) {
 		ws := &a.ws[w]
-		ws.reset(n)
+		ws.reset(workers)
 		for i := a.senderCut[w]; i < a.senderCut[w+1]; i++ {
 			if out[i] == 0 && in[i] == 0 {
 				continue
@@ -129,26 +131,19 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 			ws.gen.Seed(rng.Derive(seed, domainScatter, uint64(i)))
 			for k := 0; k < out[i]; k++ {
 				dest := a.sel.Pick(ws.stream)
-				ws.offerDest = append(ws.offerDest, int32(dest))
-				ws.offerSender = append(ws.offerSender, int32(i))
-				ws.offerCount[dest]++
+				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
 			}
 			for k := 0; k < in[i]; k++ {
 				dest := a.sel.Pick(ws.stream)
-				ws.reqDest = append(ws.reqDest, int32(dest))
-				ws.reqSender = append(ws.reqSender, int32(i))
-				ws.reqCount[dest]++
+				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
 			}
 		}
 	})
 
-	// Offsets and fill: counting-sort the recorded requests into one
+	// Exchange + sort: counting-sort the recorded requests into one
 	// contiguous buffer per kind, every bucket in global sender order (see
-	// countingOffsets in engine.go).
-	offTotal, reqTotal := buildOffsets(n, workers, scratch, a.offerOff, a.reqOff)
-	a.offersFlat = grow(a.offersFlat, int(offTotal))
-	a.reqFlat = grow(a.reqFlat, int(reqTotal))
-	replayFill(workers, scratch, a.offersFlat, a.reqFlat)
+	// radixSort in engine.go).
+	a.offersFlat, a.reqFlat = radixSort(n, workers, scratch, a.offerOff, a.reqOff, a.offersFlat, a.reqFlat)
 
 	// Match: shard rendezvous nodes by bucket size, one derived stream per
 	// bucket. Buckets where either side is empty arrange nothing and consume

@@ -114,7 +114,7 @@ func TestArrangeMatchesReference(t *testing.T) {
 			seed := caseRng.Uint64()
 			want := referenceArrange(t, out, in, sel, seed)
 			validateArrangement(t, want, out, in)
-			for _, workers := range []int{1, 2, 4, 7} {
+			for _, workers := range []int{1, 2, 4, 7, 8} {
 				a, err := NewArranger(sel)
 				if err != nil {
 					t.Fatal(err)
@@ -159,7 +159,7 @@ func TestArrangeWorkersBitIdentical10k(t *testing.T) {
 	if len(want) == 0 {
 		t.Fatal("degenerate round: no dates arranged")
 	}
-	for _, workers := range []int{2, 3, 8} {
+	for _, workers := range []int{2, 3, 4, 8} {
 		a, err := NewArranger(sel)
 		if err != nil {
 			t.Fatal(err)

@@ -5,27 +5,41 @@ package core
 //
 // Instead of appending each request to a per-rendezvous slice (one heap
 // object per node, pointer-chasing in the match pass), the engine lays the
-// round out as a counting sort keyed by rendezvous:
+// round out as a radix-partitioned counting sort keyed by rendezvous.
+// Workers own two kinds of contiguous ranges: a *sender* shard (which nodes
+// they scatter for) and a *destination* range (which rendezvous buckets they
+// build). A round runs as:
 //
-//	scatter  each worker draws destinations for a contiguous shard of
-//	         senders and records (dest, sender) pairs plus a per-worker
-//	         per-destination count;
-//	offsets  one serial scan turns the counts into a global offset table
-//	         (bucket v of each kind is the contiguous region
-//	         flat[off[v]:off[v+1]]) and into per-worker write cursors;
-//	fill     each worker replays its recorded pairs, writing sender ids
-//	         into its own disjoint cursor ranges;
-//	match    each worker runs MatchRendezvous over a contiguous shard of
-//	         rendezvous buckets, appending to a private date buffer;
-//	merge    date buffers are concatenated in worker order and the
-//	         per-node counters are rebuilt from the merged dates.
+//	scatter   each worker draws destinations for a contiguous shard of
+//	          senders and records every emitted (dest, sender) pair into the
+//	          chunk buffer of the destination's owner — one small buffer per
+//	          (worker, owner) pair, filled in scan order;
+//	exchange  a tiny serial pass sums each owner's incoming chunk lengths
+//	          (O(workers²), no length-n scan) and prefixes them into per-
+//	          owner base offsets in the flat output arrays;
+//	sort      each owner counting-sorts its own destination range: it counts
+//	          its incoming pairs into a count array covering only its range,
+//	          prefixes counts into the global bucket offsets (bucket v of
+//	          each kind is the contiguous region flat[off[v]:off[v+1]]), and
+//	          replays the chunks — in worker order — into the cursors;
+//	match     each worker runs MatchRendezvous over a contiguous shard of
+//	          rendezvous buckets, appending to a private date buffer;
+//	merge     date buffers are concatenated in worker order and the
+//	          per-node counters are rebuilt from the merged dates.
 //
-// Bucket v always holds its requests in global sender order (worker shards
-// are contiguous sender ranges, visited in order within a worker), so the
-// layout — and therefore the whole round — is a pure function of
-// (profile, selector, worker streams, workers, alive). Results are exactly
-// reproducible for a fixed (seed, workers) pair, on any GOMAXPROCS, under
-// any goroutine schedule.
+// Because chunks are recorded in scan order within a worker, worker sender
+// shards are contiguous ascending ranges, and each owner replays chunks in
+// worker order, bucket v always holds its requests in global sender order —
+// exactly the layout of the pre-radix engine, whose per-worker length-n
+// count arrays this scheme replaces. The layout — and therefore the whole
+// round — is a pure function of (profile, selector, worker streams,
+// workers, alive): results are exactly reproducible for a fixed
+// (seed, workers) pair, on any GOMAXPROCS, under any goroutine schedule.
+//
+// Memory is O(n + requests) regardless of the worker count: the owners'
+// count arrays partition [0, n) (one length-(n/workers) array each, not one
+// length-n array per worker), and the chunk buffers together hold exactly
+// the round's recorded requests.
 //
 // The engine assumes fewer than 2^31 requests of each kind per round
 // (offsets are int32); each recorded request already costs 8 bytes of
@@ -49,48 +63,74 @@ type Preparer interface {
 	Prepare() error
 }
 
-// workerScratch is the per-worker slice of the engine state. Workers only
-// ever touch their own scratch (plus disjoint regions of the shared flat
-// arrays), so no locking is needed.
-type workerScratch struct {
-	// Recorded scatter output, in sender order: request k of the shard was
-	// addressed to dest[k] by sender[k]. Requests lost to a dead rendezvous
-	// are never recorded.
-	offerDest   []int32
-	offerSender []int32
-	reqDest     []int32
-	reqSender   []int32
+// pairChunk records the (dest, sender) pairs one worker emitted into one
+// destination owner's range, in scan (sender) order.
+type pairChunk struct {
+	dest   []int32
+	sender []int32
+}
 
-	// Per-destination counts of this worker's recorded requests; the offset
-	// pass rewrites them in place into absolute write cursors for the fill
-	// pass.
+func (ch *pairChunk) push(dest, sender int) {
+	ch.dest = append(ch.dest, int32(dest))
+	ch.sender = append(ch.sender, int32(sender))
+}
+
+// workerScratch is the per-worker slice of the engine state. During the
+// scatter a worker only appends to its own chunks; during the sort it owns
+// one destination range and reads every worker's chunks addressed to it —
+// the phases are separated by a barrier, so no locking is needed.
+type workerScratch struct {
+	// offerChunk[o] / reqChunk[o] hold the pairs this worker emitted into
+	// owner o's destination range. Requests lost to a dead rendezvous are
+	// never recorded.
+	offerChunk []pairChunk
+	reqChunk   []pairChunk
+
+	// Owner-side scratch: per-destination counts over this worker's own
+	// destination range [destCut(w), destCut(w+1)), rewritten in place into
+	// absolute write cursors during the sort pass.
 	offerCount []int32
 	reqCount   []int32
+
+	// baseOff/baseReq are this owner's first slots in the flat arrays, set
+	// by the serial exchange prefix.
+	baseOff int32
+	baseReq int32
 
 	dates        []Date
 	offersSent   int
 	requestsSent int
-
-	// blockOff/blockReq carry worker w's destination-block totals (then
-	// block start offsets) through the two-level scan of
-	// countingOffsetsParallel; dead on the serial path.
-	blockOff int32
-	blockReq int32
 }
 
-func (ws *workerScratch) reset(n int) {
-	ws.offerDest = ws.offerDest[:0]
-	ws.offerSender = ws.offerSender[:0]
-	ws.reqDest = ws.reqDest[:0]
-	ws.reqSender = ws.reqSender[:0]
+// reset readies the scratch for a round at the given worker count. Chunks
+// beyond workers are left untouched: they are never read by a round of this
+// width.
+func (ws *workerScratch) reset(workers int) {
+	for len(ws.offerChunk) < workers {
+		ws.offerChunk = append(ws.offerChunk, pairChunk{})
+		ws.reqChunk = append(ws.reqChunk, pairChunk{})
+	}
+	for o := 0; o < workers; o++ {
+		ws.offerChunk[o].dest = ws.offerChunk[o].dest[:0]
+		ws.offerChunk[o].sender = ws.offerChunk[o].sender[:0]
+		ws.reqChunk[o].dest = ws.reqChunk[o].dest[:0]
+		ws.reqChunk[o].sender = ws.reqChunk[o].sender[:0]
+	}
 	ws.dates = ws.dates[:0]
 	ws.offersSent = 0
 	ws.requestsSent = 0
-	if len(ws.offerCount) != n {
-		ws.offerCount = make([]int32, n)
-		ws.reqCount = make([]int32, n)
+}
+
+// sizeCounts sizes the owner-side count arrays to this owner's range and
+// zeroes them.
+func (ws *workerScratch) sizeCounts(size int) {
+	if cap(ws.offerCount) < size || cap(ws.reqCount) < size {
+		ws.offerCount = make([]int32, size)
+		ws.reqCount = make([]int32, size)
 		return
 	}
+	ws.offerCount = ws.offerCount[:size]
+	ws.reqCount = ws.reqCount[:size]
 	for i := range ws.offerCount {
 		ws.offerCount[i] = 0
 		ws.reqCount[i] = 0
@@ -165,111 +205,87 @@ func runPhase(workers int, f func(w int)) {
 	par.Do(workers, f)
 }
 
-// countingOffsets is the serial offset pass shared by the Service engine
-// and the Arranger: one scan builds the global bucket offsets and turns
-// each worker's per-destination counts into its absolute write cursors,
-// partitioning every bucket as (worker 0's senders, worker 1's senders,
-// ...) — i.e. global sender order, since worker shards are contiguous
-// ascending sender ranges. scratch(w) yields worker w's scratch; offerOff
-// and reqOff must have length n+1. Parallel rounds use
-// countingOffsetsParallel, which computes the same function without the
-// serial O(workers*n) bottleneck.
-func countingOffsets(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (offTotal, reqTotal int32) {
-	for v := 0; v < n; v++ {
-		offerOff[v] = offTotal
-		reqOff[v] = reqTotal
+// destCut returns the start of owner p's destination range: the destination
+// space [0, n) is partitioned into the uniform id ranges
+// [destCut(p), destCut(p+1)). The cuts are a pure function of (n, workers),
+// and — unlike the sender shards — never affect the output, only which
+// worker builds which buckets.
+func destCut(n, workers, p int) int { return n * p / workers }
+
+// destOwner returns the owner of destination d under destCut's partition:
+// the largest p with destCut(p) <= d. Owners with empty ranges are never
+// returned.
+func destOwner(n, workers, d int) int { return ((d+1)*workers - 1) / n }
+
+// radixSort is the exchange + sort pass shared by the Service round paths
+// and the Arranger: after the scatter barrier it prefixes each owner's
+// incoming chunk totals into base offsets (a serial O(workers²) pass — the
+// only serial work, with no length-n scan), then each owner counting-sorts
+// its own destination range in parallel: count incoming pairs into a
+// range-local count array, prefix the counts into the global bucket offset
+// tables, and replay every worker's chunks — in worker order — through the
+// cursors. Bucket v of each kind ends up as the contiguous region
+// flat[off[v]:off[v+1]] holding its senders in global sender order.
+//
+// The flat arrays are grown as needed and returned; offerOff and reqOff
+// must have length n+1.
+func radixSort(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32, offersFlat, reqFlat []int32) ([]int32, []int32) {
+	var offTotal, reqTotal int32
+	for o := 0; o < workers; o++ {
+		var ot, rt int32
 		for w := 0; w < workers; w++ {
 			ws := scratch(w)
-			c := ws.offerCount[v]
-			ws.offerCount[v] = offTotal
-			offTotal += c
-			c = ws.reqCount[v]
-			ws.reqCount[v] = reqTotal
-			reqTotal += c
+			ot += int32(len(ws.offerChunk[o].dest))
+			rt += int32(len(ws.reqChunk[o].dest))
 		}
+		os := scratch(o)
+		os.baseOff, offTotal = offTotal, offTotal+ot
+		os.baseReq, reqTotal = reqTotal, reqTotal+rt
 	}
-	offerOff[n] = offTotal
-	reqOff[n] = reqTotal
-	return offTotal, reqTotal
-}
+	offersFlat = grow(offersFlat, int(offTotal))
+	reqFlat = grow(reqFlat, int(reqTotal))
 
-// countingOffsetsParallel computes exactly the same offsets and cursors as
-// countingOffsets with a two-level prefix sum, removing the round's only
-// serial O(workers*n) pass. The destination space is cut into one block per
-// worker; level 1 sums each block's counts in parallel, a (tiny) serial
-// scan prefixes the per-block totals, and level 2 resolves each block's
-// per-destination cursors in parallel from its block offset. Both levels
-// visit the same (destination, worker) cells in the same order as the
-// serial scan, so the result is bit-identical.
-func countingOffsetsParallel(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (offTotal, reqTotal int32) {
-	bcut := func(p int) int { return n * p / workers }
-	runPhase(workers, func(p int) {
-		var ot, rt int32
-		for v := bcut(p); v < bcut(p+1); v++ {
-			for w := 0; w < workers; w++ {
-				ws := scratch(w)
-				ot += ws.offerCount[v]
-				rt += ws.reqCount[v]
+	runPhase(workers, func(o int) {
+		ws := scratch(o)
+		lo, hi := destCut(n, workers, o), destCut(n, workers, o+1)
+		ws.sizeCounts(hi - lo)
+		for w := 0; w < workers; w++ {
+			src := scratch(w)
+			for _, d := range src.offerChunk[o].dest {
+				ws.offerCount[int(d)-lo]++
+			}
+			for _, d := range src.reqChunk[o].dest {
+				ws.reqCount[int(d)-lo]++
 			}
 		}
-		ps := scratch(p)
-		ps.blockOff = ot
-		ps.blockReq = rt
-	})
-	// Serial prefix over the per-block totals, rewritten in place into each
-	// block's start offset (worker p's scratch carries block p's values).
-	for p := 0; p < workers; p++ {
-		ps := scratch(p)
-		ps.blockOff, offTotal = offTotal, offTotal+ps.blockOff
-		ps.blockReq, reqTotal = reqTotal, reqTotal+ps.blockReq
-	}
-	runPhase(workers, func(p int) {
-		ps := scratch(p)
-		ot, rt := ps.blockOff, ps.blockReq
-		for v := bcut(p); v < bcut(p+1); v++ {
+		ot, rt := ws.baseOff, ws.baseReq
+		for v := lo; v < hi; v++ {
 			offerOff[v] = ot
+			c := ws.offerCount[v-lo]
+			ws.offerCount[v-lo] = ot
+			ot += c
 			reqOff[v] = rt
-			for w := 0; w < workers; w++ {
-				ws := scratch(w)
-				c := ws.offerCount[v]
-				ws.offerCount[v] = ot
-				ot += c
-				c = ws.reqCount[v]
-				ws.reqCount[v] = rt
-				rt += c
+			c = ws.reqCount[v-lo]
+			ws.reqCount[v-lo] = rt
+			rt += c
+		}
+		for w := 0; w < workers; w++ {
+			src := scratch(w)
+			ch := &src.offerChunk[o]
+			for k, d := range ch.dest {
+				offersFlat[ws.offerCount[int(d)-lo]] = ch.sender[k]
+				ws.offerCount[int(d)-lo]++
+			}
+			ch = &src.reqChunk[o]
+			for k, d := range ch.dest {
+				reqFlat[ws.reqCount[int(d)-lo]] = ch.sender[k]
+				ws.reqCount[int(d)-lo]++
 			}
 		}
 	})
 	offerOff[n] = offTotal
 	reqOff[n] = reqTotal
-	return offTotal, reqTotal
-}
-
-// buildOffsets picks the offset pass for the round's worker count: the
-// two-level parallel scan when workers can share the work, the plain serial
-// scan otherwise. Both compute identical bits.
-func buildOffsets(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32) (int32, int32) {
-	if workers > 1 {
-		return countingOffsetsParallel(n, workers, scratch, offerOff, reqOff)
-	}
-	return countingOffsets(n, workers, scratch, offerOff, reqOff)
-}
-
-// replayFill is the fill pass shared by the Service engine and the
-// Arranger: each worker replays its recorded (dest, sender) pairs into its
-// disjoint cursor ranges of the flat arrays.
-func replayFill(workers int, scratch func(w int) *workerScratch, offersFlat, reqFlat []int32) {
-	runPhase(workers, func(w int) {
-		ws := scratch(w)
-		for idx, d := range ws.offerDest {
-			offersFlat[ws.offerCount[d]] = ws.offerSender[idx]
-			ws.offerCount[d]++
-		}
-		for idx, d := range ws.reqDest {
-			reqFlat[ws.reqCount[d]] = ws.reqSender[idx]
-			ws.reqCount[d]++
-		}
-	})
+	return offersFlat, reqFlat
 }
 
 // runEngine is the shared round body.
@@ -279,11 +295,12 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 	eng.ensure(n, workers)
 	scratch := func(w int) *workerScratch { return &eng.ws[w] }
 
-	// Scatter: worker w draws destinations for its sender shard.
+	// Scatter: worker w draws destinations for its sender shard, recording
+	// each pair into the chunk of the destination's owner.
 	out, in := sv.profile.Out, sv.profile.In
 	runPhase(workers, func(w int) {
 		ws := &eng.ws[w]
-		ws.reset(n)
+		ws.reset(workers)
 		s := streams[w]
 		for i := eng.senderCut[w]; i < eng.senderCut[w+1]; i++ {
 			if alive != nil && !alive(i) {
@@ -294,9 +311,7 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 				if alive != nil && !alive(dest) {
 					continue // lost: rendezvous is down
 				}
-				ws.offerDest = append(ws.offerDest, int32(dest))
-				ws.offerSender = append(ws.offerSender, int32(i))
-				ws.offerCount[dest]++
+				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
 				ws.offersSent++
 			}
 			for k := 0; k < in[i]; k++ {
@@ -304,20 +319,15 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 				if alive != nil && !alive(dest) {
 					continue
 				}
-				ws.reqDest = append(ws.reqDest, int32(dest))
-				ws.reqSender = append(ws.reqSender, int32(i))
-				ws.reqCount[dest]++
+				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
 				ws.requestsSent++
 			}
 		}
 	})
 
-	// Offsets and fill: counting-sort the recorded requests into one
-	// contiguous buffer per kind (see countingOffsets for the layout).
-	offTotal, reqTotal := buildOffsets(n, workers, scratch, eng.offerOff, eng.reqOff)
-	eng.offersFlat = grow(eng.offersFlat, int(offTotal))
-	eng.reqFlat = grow(eng.reqFlat, int(reqTotal))
-	replayFill(workers, scratch, eng.offersFlat, eng.reqFlat)
+	// Exchange + sort: counting-sort the recorded requests into one
+	// contiguous buffer per kind (see radixSort for the layout).
+	eng.offersFlat, eng.reqFlat = radixSort(n, workers, scratch, eng.offerOff, eng.reqOff, eng.offersFlat, eng.reqFlat)
 
 	// Match: shard rendezvous nodes across workers, balanced by bucket
 	// size (the shuffle cost of MatchRendezvous is linear in it).

@@ -41,7 +41,7 @@ func TestRunRoundParallelDeterministic(t *testing.T) {
 	// bit-for-bit reproducible, including Date order, regardless of how the
 	// goroutines were actually scheduled.
 	const n, seed = 3000, 99
-	for _, workers := range []int{1, 2, 3, 7} {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8} {
 		run := func() []RoundResult {
 			sv := parallelService(t, n, 2)
 			streams := rng.NewStreams(seed, workers)

@@ -81,12 +81,13 @@ func (sv *Service) RunRoundSeededFiltered(seed uint64, workers int, alive func(i
 	scratch := func(w int) *workerScratch { return &eng.ws[w] }
 
 	// Scatter: worker w draws destinations for its sender shard, reseeding
-	// its generator once per live node. The shard cuts only affect which
+	// its generator once per live node and recording each pair into the
+	// chunk of the destination's owner. The shard cuts only affect which
 	// worker does the work, never the draws.
 	out, in := sv.profile.Out, sv.profile.In
 	runPhase(workers, func(w int) {
 		ws := &eng.ws[w]
-		ws.reset(n)
+		ws.reset(workers)
 		gen, s := eng.seedGens[w], eng.seedStreams[w]
 		for i := eng.senderCut[w]; i < eng.senderCut[w+1]; i++ {
 			if alive != nil && !alive(i) {
@@ -98,9 +99,7 @@ func (sv *Service) RunRoundSeededFiltered(seed uint64, workers int, alive func(i
 				if alive != nil && !alive(dest) {
 					continue // lost: rendezvous is down
 				}
-				ws.offerDest = append(ws.offerDest, int32(dest))
-				ws.offerSender = append(ws.offerSender, int32(i))
-				ws.offerCount[dest]++
+				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
 				ws.offersSent++
 			}
 			for k := 0; k < in[i]; k++ {
@@ -108,19 +107,14 @@ func (sv *Service) RunRoundSeededFiltered(seed uint64, workers int, alive func(i
 				if alive != nil && !alive(dest) {
 					continue
 				}
-				ws.reqDest = append(ws.reqDest, int32(dest))
-				ws.reqSender = append(ws.reqSender, int32(i))
-				ws.reqCount[dest]++
+				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
 				ws.requestsSent++
 			}
 		}
 	})
 
-	// Offsets and fill: identical to the worker-stream path.
-	offTotal, reqTotal := buildOffsets(n, workers, scratch, eng.offerOff, eng.reqOff)
-	eng.offersFlat = grow(eng.offersFlat, int(offTotal))
-	eng.reqFlat = grow(eng.reqFlat, int(reqTotal))
-	replayFill(workers, scratch, eng.offersFlat, eng.reqFlat)
+	// Exchange + sort: identical to the worker-stream path.
+	eng.offersFlat, eng.reqFlat = radixSort(n, workers, scratch, eng.offerOff, eng.reqOff, eng.offersFlat, eng.reqFlat)
 
 	// Match: one derived stream per rendezvous bucket. Buckets with either
 	// side empty arrange nothing and consume no randomness, so they are

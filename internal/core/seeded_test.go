@@ -21,7 +21,7 @@ func TestSeededRoundWorkerIndependence(t *testing.T) {
 	}
 	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
 		var ref RoundResult
-		for _, workers := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			svc, err := NewService(profile, sel)
 			if err != nil {
 				t.Fatal(err)
@@ -146,80 +146,106 @@ func TestSeededRoundValidation(t *testing.T) {
 	}
 }
 
-// fillScratch populates workers count vectors with a deterministic pseudo-
-// random pattern for the offset-scan tests and benchmarks.
-func fillScratch(n, workers int, seed uint64) []workerScratch {
-	ws := make([]workerScratch, workers)
-	s := rng.New(seed)
-	for w := range ws {
-		ws[w].offerCount = make([]int32, n)
-		ws[w].reqCount = make([]int32, n)
-		for v := 0; v < n; v++ {
-			ws[w].offerCount[v] = int32(s.Intn(3))
-			ws[w].reqCount[v] = int32(s.Intn(3))
-		}
-	}
-	return ws
-}
-
-func TestCountingOffsetsParallelMatchesSerial(t *testing.T) {
+func TestDestOwnerPartition(t *testing.T) {
+	// destOwner(d) must return exactly the owner whose destCut range holds
+	// d, for every destination and worker count — owners with empty ranges
+	// are never returned.
 	for _, tc := range []struct{ n, workers int }{
-		{1, 1}, {17, 2}, {100, 3}, {1000, 8}, {1000, 16},
+		{1, 1}, {17, 2}, {100, 3}, {1000, 8}, {1000, 16}, {3, 16}, {10, 4},
 	} {
-		serial := fillScratch(tc.n, tc.workers, 5)
-		par := fillScratch(tc.n, tc.workers, 5)
-		so, sr := make([]int32, tc.n+1), make([]int32, tc.n+1)
-		po, pr := make([]int32, tc.n+1), make([]int32, tc.n+1)
-		st, srt := countingOffsets(tc.n, tc.workers, func(w int) *workerScratch { return &serial[w] }, so, sr)
-		pt, prt := countingOffsetsParallel(tc.n, tc.workers, func(w int) *workerScratch { return &par[w] }, po, pr)
-		if st != pt || srt != prt {
-			t.Fatalf("n=%d workers=%d: totals diverge (%d/%d vs %d/%d)", tc.n, tc.workers, st, srt, pt, prt)
-		}
-		if !reflect.DeepEqual(so, po) || !reflect.DeepEqual(sr, pr) {
-			t.Fatalf("n=%d workers=%d: offset tables diverge", tc.n, tc.workers)
-		}
-		for w := 0; w < tc.workers; w++ {
-			if !reflect.DeepEqual(serial[w].offerCount, par[w].offerCount) ||
-				!reflect.DeepEqual(serial[w].reqCount, par[w].reqCount) {
-				t.Fatalf("n=%d workers=%d: worker %d cursors diverge", tc.n, tc.workers, w)
+		for d := 0; d < tc.n; d++ {
+			o := destOwner(tc.n, tc.workers, d)
+			if o < 0 || o >= tc.workers {
+				t.Fatalf("n=%d workers=%d: owner(%d) = %d out of range", tc.n, tc.workers, d, o)
+			}
+			if lo, hi := destCut(tc.n, tc.workers, o), destCut(tc.n, tc.workers, o+1); d < lo || d >= hi {
+				t.Fatalf("n=%d workers=%d: owner(%d) = %d but range is [%d, %d)", tc.n, tc.workers, d, o, lo, hi)
 			}
 		}
 	}
 }
 
-// BenchmarkOffsetScan compares the serial O(workers*n) bucket-offset scan
-// with the two-level parallel prefix sum at engine scale. The pristine
-// counts are restored outside the timed sections (the pass rewrites them
-// into cursors in place).
-func BenchmarkOffsetScan(b *testing.B) {
-	const n, workers = 1_000_000, 8
-	pristine := fillScratch(n, workers, 11)
-	work := fillScratch(n, workers, 11)
-	offerOff := make([]int32, n+1)
-	reqOff := make([]int32, n+1)
-	restore := func() {
-		for w := range work {
-			copy(work[w].offerCount, pristine[w].offerCount)
-			copy(work[w].reqCount, pristine[w].reqCount)
+// fillChunks populates per-(worker, owner) chunk buffers with a
+// deterministic pseudo-random request pattern (in scan order per worker),
+// returning the scratch plus the reference flat layout: buckets in
+// rendezvous order, each holding its senders in (worker, scan) order.
+func fillChunks(n, workers, perWorker int, seed uint64) (ws []workerScratch, wantOffers, wantReqs [][]int32) {
+	ws = make([]workerScratch, workers)
+	wantOffers = make([][]int32, n)
+	wantReqs = make([][]int32, n)
+	s := rng.New(seed)
+	for w := range ws {
+		ws[w].reset(workers)
+	}
+	for w := 0; w < workers; w++ {
+		for k := 0; k < perWorker; k++ {
+			d, sender := s.Intn(n), s.Intn(n)
+			ws[w].offerChunk[destOwner(n, workers, d)].push(d, sender)
+			d, sender = s.Intn(n), s.Intn(n)
+			ws[w].reqChunk[destOwner(n, workers, d)].push(d, sender)
 		}
 	}
-	scratch := func(w int) *workerScratch { return &work[w] }
-	b.Run("serial", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			restore()
-			b.StartTimer()
-			countingOffsets(n, workers, scratch, offerOff, reqOff)
+	// Reference layout: visit workers in order, replaying each worker's
+	// chunks in owner order preserves per-destination scan order because a
+	// destination maps to exactly one owner.
+	for w := 0; w < workers; w++ {
+		for o := 0; o < workers; o++ {
+			ch := ws[w].offerChunk[o]
+			for k, d := range ch.dest {
+				wantOffers[d] = append(wantOffers[d], ch.sender[k])
+			}
+			ch = ws[w].reqChunk[o]
+			for k, d := range ch.dest {
+				wantReqs[d] = append(wantReqs[d], ch.sender[k])
+			}
 		}
-	})
-	b.Run("two-level", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			restore()
-			b.StartTimer()
-			countingOffsetsParallel(n, workers, scratch, offerOff, reqOff)
+	}
+	return ws, wantOffers, wantReqs
+}
+
+func TestRadixSortLayout(t *testing.T) {
+	// The exchange + owner counting sort must produce buckets in rendezvous
+	// order, each holding its requests in (worker, scan) order — the exact
+	// layout of the pre-radix per-worker-counts engine — at every worker
+	// count, including workers > n.
+	for _, tc := range []struct{ n, workers, perWorker int }{
+		{1, 1, 3}, {17, 2, 10}, {100, 3, 40}, {1000, 8, 200}, {1000, 16, 50}, {5, 9, 4},
+	} {
+		ws, wantOffers, wantReqs := fillChunks(tc.n, tc.workers, tc.perWorker, 5)
+		offerOff := make([]int32, tc.n+1)
+		reqOff := make([]int32, tc.n+1)
+		offersFlat, reqFlat := radixSort(tc.n, tc.workers, func(w int) *workerScratch { return &ws[w] },
+			offerOff, reqOff, nil, nil)
+		for v := 0; v < tc.n; v++ {
+			gotO := offersFlat[offerOff[v]:offerOff[v+1]]
+			gotR := reqFlat[reqOff[v]:reqOff[v+1]]
+			if len(gotO) != len(wantOffers[v]) || (len(gotO) > 0 && !reflect.DeepEqual(gotO, wantOffers[v])) {
+				t.Fatalf("n=%d workers=%d: offers bucket %d = %v, want %v", tc.n, tc.workers, v, gotO, wantOffers[v])
+			}
+			if len(gotR) != len(wantReqs[v]) || (len(gotR) > 0 && !reflect.DeepEqual(gotR, wantReqs[v])) {
+				t.Fatalf("n=%d workers=%d: requests bucket %d = %v, want %v", tc.n, tc.workers, v, gotR, wantReqs[v])
+			}
 		}
-	})
+		if int(offerOff[tc.n]) != len(offersFlat) || int(reqOff[tc.n]) != len(reqFlat) {
+			t.Fatalf("n=%d workers=%d: totals do not close the offset tables", tc.n, tc.workers)
+		}
+	}
+}
+
+// BenchmarkRadixSort times the exchange + owner counting sort at engine
+// scale (the pass that replaced the O(workers·n) offset scan and fill).
+// The chunks are rebuilt outside the timed sections.
+func BenchmarkRadixSort(b *testing.B) {
+	const n, workers, perWorker = 1_000_000, 8, 250_000
+	ws, _, _ := fillChunks(n, workers, perWorker, 11)
+	offerOff := make([]int32, n+1)
+	reqOff := make([]int32, n+1)
+	var offersFlat, reqFlat []int32
+	scratch := func(w int) *workerScratch { return &ws[w] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offersFlat, reqFlat = radixSort(n, workers, scratch, offerOff, reqOff, offersFlat, reqFlat)
+	}
 }
 
 // BenchmarkSeededRound quantifies the derivation overhead of the

@@ -6,19 +6,27 @@
 // # Architecture
 //
 // The runtime splits the peer id space into Shards contiguous ranges, one
-// per worker. Each round proceeds in three phases:
+// per worker; each shard also *owns* its range as a destination range. Each
+// round proceeds in three phases:
 //
 //	deliver  the messages due this round are counting-sorted by destination
-//	         into one flat buffer (the core engine's scatter idiom: parallel
-//	         per-chunk counts, a two-level prefix sum over (chunk,
-//	         destination-block) count blocks, then a parallel stable fill),
-//	         so peer i's inbox is the contiguous slice flat[off[i]:off[i+1]];
+//	         into one flat buffer with the core engine's radix-partitioned
+//	         scatter: each shard splits its contiguous chunk of the slot by
+//	         destination owner into per-owner index chunks, a tiny serial
+//	         prefix over owner totals assigns base offsets, and each owner
+//	         counting-sorts its own peer range (count array covering only
+//	         that range) with a stable fill — so peer i's inbox is the
+//	         contiguous slice flat[off[i]:off[i+1]], and delivery scratch is
+//	         O(n + messages) instead of one length-n count array per shard;
 //	step     each shard worker walks its peer range in order, invoking the
 //	         StepFunc with the peer's inbox and private stream; emitted
 //	         messages are planned by the NetModel and recorded in
 //	         shard-local per-delay buffers;
-//	route    per-delay buffers are appended to the delivery ring's future
-//	         slots in shard order, and traffic counters are merged.
+//	route    per-(shard, delay) buffer lengths are known after the step
+//	         phase, so a small prefix sum assigns each shard a disjoint
+//	         range of every due delivery-ring slot and the shards copy
+//	         their buffers in parallel (same shard-order concatenation as
+//	         the old serial append pass); traffic counters are merged.
 //
 // # Determinism
 //
@@ -124,10 +132,19 @@ type shard struct {
 	// byDelay[d] holds this round's emissions in flight for d rounds, in
 	// emission order; index 0 is unused.
 	byDelay [][]simnet.Message
-	// counts is the per-destination scratch of the delivery sort.
+	// idx[o] holds the indices (into the slot buffer being delivered) of
+	// this shard's chunk messages destined for owner o's peer range — the
+	// radix exchange of the delivery sort.
+	idx [][]int32
+	// counts is the owner-side scratch of the delivery sort, covering only
+	// this shard's own peer range [cut[w], cut[w+1]).
 	counts []int32
-	// chunk prefix state of the delivery sort's two-level offset pass.
+	// blockTot carries this owner's message total (then base offset)
+	// through the delivery sort's serial prefix.
 	blockTot int32
+	// routeOff[d] is this shard's write offset into ring slot (round + d)
+	// during the parallel route pass.
+	routeOff []int
 
 	sender    int
 	netSeeded bool
@@ -216,7 +233,9 @@ func New(cfg Config) (*Runtime, error) {
 		sh.stream = rng.NewWithSource(&sh.src)
 		sh.netStream = rng.NewWithSource(&sh.netGen)
 		sh.byDelay = make([][]simnet.Message, rt.maxDelay+1)
-		sh.counts = make([]int32, cfg.N)
+		sh.idx = make([][]int32, shards)
+		sh.counts = make([]int32, rt.cut[w+1]-rt.cut[w])
+		sh.routeOff = make([]int, rt.maxDelay+1)
 		sh.emit = rt.makeEmit(sh)
 	}
 	rt.fanOut(func(w int) {
@@ -298,9 +317,15 @@ func (rt *Runtime) Inbox(i int) []simnet.Message {
 	return rt.sorted[rt.inOff[i]:rt.inOff[i+1]]
 }
 
-// deliver counting-sorts the slot due this round by destination: parallel
-// per-chunk counts, a two-level prefix sum, and a parallel stable fill —
-// the core engine's scatter idiom applied to message routing.
+// owner returns the shard whose peer range holds destination d (rt.cut is
+// the uniform partition cut[w] = n·w/shards).
+func (rt *Runtime) owner(d int) int { return ((d+1)*rt.shards - 1) / rt.n }
+
+// deliver counting-sorts the slot due this round by destination with the
+// core engine's radix-partitioned scatter: shards exchange per-owner index
+// chunks, then each owner counting-sorts its own peer range. Delivery
+// scratch is O(n + messages) — the owners' count arrays partition [0, n)
+// instead of every shard holding a length-n array.
 func (rt *Runtime) deliver() {
 	slot := rt.round % (rt.maxDelay + 1)
 	buf := rt.slots[slot]
@@ -312,69 +337,73 @@ func (rt *Runtime) deliver() {
 		return
 	}
 
-	// Count: shard w counts destinations over its contiguous chunk of buf.
+	// Exchange: shard w splits its contiguous chunk of buf by destination
+	// owner, recording message indices in chunk (= canonical) order.
 	chunk := func(w int) (int, int) {
 		return len(buf) * w / rt.shards, len(buf) * (w + 1) / rt.shards
 	}
 	rt.fanOut(func(w int) {
 		sh := &rt.sh[w]
-		for i := range sh.counts {
-			sh.counts[i] = 0
+		for o := range sh.idx {
+			sh.idx[o] = sh.idx[o][:0]
 		}
 		lo, hi := chunk(w)
-		for _, m := range buf[lo:hi] {
-			sh.counts[m.To]++
+		for k := lo; k < hi; k++ {
+			o := rt.owner(buf[k].To)
+			sh.idx[o] = append(sh.idx[o], int32(k))
 		}
 	})
 
-	// Offsets, level 1: per destination-block totals, in parallel. Block b
-	// covers the same id range as shard b's peer cut, so the pass reuses
-	// rt.cut as its block boundaries.
-	rt.fanOut(func(b int) {
-		var tot int32
-		for v := rt.cut[b]; v < rt.cut[b+1]; v++ {
-			for w := 0; w < rt.shards; w++ {
-				tot += rt.sh[w].counts[v]
-			}
-		}
-		rt.sh[b].blockTot = tot
-	})
-
-	// Offsets, level 2: a serial prefix over the per-block totals (tiny),
-	// rewriting each shard's blockTot into its block's start offset, then
-	// each block resolves its own (destination, chunk) cursors in parallel.
-	// Bucket v is partitioned (chunk 0, chunk 1, ...), i.e. in canonical
-	// order, because chunks cover buf in ascending order.
+	// Serial prefix over the owners' incoming totals (O(shards²), no
+	// length-n scan), rewriting each owner's total into its base offset.
 	var total int32
-	for b := 0; b < rt.shards; b++ {
-		rt.sh[b].blockTot, total = total, total+rt.sh[b].blockTot
-	}
-	rt.fanOut(func(b int) {
-		acc := rt.sh[b].blockTot
-		for v := rt.cut[b]; v < rt.cut[b+1]; v++ {
-			rt.inOff[v] = acc
-			for w := 0; w < rt.shards; w++ {
-				c := rt.sh[w].counts[v]
-				rt.sh[w].counts[v] = acc
-				acc += c
-			}
+	for o := 0; o < rt.shards; o++ {
+		var tot int32
+		for w := 0; w < rt.shards; w++ {
+			tot += int32(len(rt.sh[w].idx[o]))
 		}
-	})
-	rt.inOff[rt.n] = int32(len(buf))
+		rt.sh[o].blockTot, total = total, total+tot
+	}
 
-	// Fill: each shard replays its chunk into its disjoint cursor ranges.
 	if cap(rt.sorted) < len(buf) {
 		rt.sorted = make([]simnet.Message, len(buf))
 	}
 	rt.sorted = rt.sorted[:len(buf)]
-	rt.fanOut(func(w int) {
-		sh := &rt.sh[w]
-		lo, hi := chunk(w)
-		for _, m := range buf[lo:hi] {
-			rt.sorted[sh.counts[m.To]] = m
-			sh.counts[m.To]++
+
+	// Sort: each owner counts its incoming messages per destination over
+	// its own range, prefixes the counts into inOff and write cursors, and
+	// replays the index chunks in shard order. Within a bucket that order
+	// is ascending buf position — the canonical (send round, sender,
+	// emission index) order, exactly as the pre-radix per-shard-counts sort
+	// produced.
+	rt.fanOut(func(o int) {
+		sh := &rt.sh[o]
+		lo := rt.cut[o]
+		counts := sh.counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		for w := 0; w < rt.shards; w++ {
+			for _, k := range rt.sh[w].idx[o] {
+				counts[buf[k].To-lo]++
+			}
+		}
+		acc := sh.blockTot
+		for v := lo; v < rt.cut[o+1]; v++ {
+			rt.inOff[v] = acc
+			c := counts[v-lo]
+			counts[v-lo] = acc
+			acc += c
+		}
+		for w := 0; w < rt.shards; w++ {
+			for _, k := range rt.sh[w].idx[o] {
+				m := buf[k]
+				rt.sorted[counts[m.To-lo]] = m
+				counts[m.To-lo]++
+			}
 		}
 	})
+	rt.inOff[rt.n] = int32(len(buf))
 
 	rt.slots[slot] = buf[:0]
 }
@@ -393,20 +422,43 @@ func (rt *Runtime) stepAll() {
 	})
 }
 
-// route appends the shards' per-delay buffers to the delivery ring in shard
-// order (= global sender order) and merges the traffic counters. Slot
-// (round + d) is never the slot delivered this round since 1 <= d <=
-// maxDelay < ring size.
+// route copies the shards' per-delay buffers into the delivery ring's
+// future slots in parallel and merges the traffic counters. Per-(shard,
+// delay) buffer lengths are known after the step phase, so a serial prefix
+// sum sizes each due slot once and assigns every shard a disjoint range of
+// it; the shards then copy concurrently, replacing the coordinator's old
+// serial O(messages) append pass while preserving the exact shard-order
+// concatenation (= global sender order). Slot (round + d) is never the
+// slot delivered this round since 1 <= d <= maxDelay < ring size.
 func (rt *Runtime) route() {
 	ring := rt.maxDelay + 1
+	work := false
 	for d := 1; d <= rt.maxDelay; d++ {
 		slot := (rt.round + d) % ring
+		base := len(rt.slots[slot])
+		acc := base
 		for w := range rt.sh {
-			if len(rt.sh[w].byDelay[d]) > 0 {
-				rt.slots[slot] = append(rt.slots[slot], rt.sh[w].byDelay[d]...)
-				rt.sh[w].byDelay[d] = rt.sh[w].byDelay[d][:0]
-			}
+			rt.sh[w].routeOff[d] = acc
+			acc += len(rt.sh[w].byDelay[d])
 		}
+		if acc == base {
+			continue
+		}
+		work = true
+		rt.slots[slot] = growMessages(rt.slots[slot], acc)
+	}
+	if work {
+		rt.fanOut(func(w int) {
+			sh := &rt.sh[w]
+			for d := 1; d <= rt.maxDelay; d++ {
+				if len(sh.byDelay[d]) == 0 {
+					continue
+				}
+				slot := (rt.round + d) % ring
+				copy(rt.slots[slot][sh.routeOff[d]:], sh.byDelay[d])
+				sh.byDelay[d] = sh.byDelay[d][:0]
+			}
+		})
 	}
 	for w := range rt.sh {
 		sh := &rt.sh[w]
@@ -421,4 +473,15 @@ func (rt *Runtime) route() {
 			}
 		}
 	}
+}
+
+// growMessages returns s resliced to length size, preserving its contents
+// and reallocating (with append-style headroom) only when needed.
+func growMessages(s []simnet.Message, size int) []simnet.Message {
+	if cap(s) >= size {
+		return s[:size]
+	}
+	ns := make([]simnet.Message, size, max(size, 2*cap(s)))
+	copy(ns, s)
+	return ns
 }

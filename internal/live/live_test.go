@@ -97,7 +97,7 @@ func TestShardCountBitIdentity(t *testing.T) {
 				stats  simnet.Stats
 			}
 			var ref outcome
-			for _, shards := range []int{1, 2, 8} {
+			for _, shards := range []int{1, 2, 4, 8} {
 				st := newChatter(n, 2)
 				rt, err := New(Config{N: n, Seed: 42, Step: st.step, Shards: shards, Net: net})
 				if err != nil {
@@ -314,6 +314,30 @@ func TestRuntimeAccessors(t *testing.T) {
 	}
 	if total != 10 {
 		t.Fatalf("inboxes of the last round hold %d messages, want 10", total)
+	}
+}
+
+func TestDeliveryScratchPartitionsPeerRange(t *testing.T) {
+	// The radix delivery sort's memory claim: the owners' count arrays must
+	// partition [0, n) — O(n) in total — rather than every shard holding a
+	// length-n array (the pre-radix O(shards·n) layout).
+	st := newChatter(1000, 1)
+	for _, shards := range []int{1, 2, 4, 8} {
+		rt, err := New(Config{N: 1000, Seed: 1, Step: st.step, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for w := range rt.sh {
+			if got, want := len(rt.sh[w].counts), rt.cut[w+1]-rt.cut[w]; got != want {
+				t.Fatalf("shards=%d: shard %d count array has length %d, want its own range %d",
+					shards, w, got, want)
+			}
+			total += len(rt.sh[w].counts)
+		}
+		if total != rt.n {
+			t.Fatalf("shards=%d: count arrays cover %d ids, want exactly n=%d", shards, total, rt.n)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/bandwidth"
@@ -82,6 +83,15 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 		}
 		seen[workers] = true
 
+		// Memory sampling brackets the whole configuration — Service
+		// construction, warm-up, and timed rounds — so TotalAllocMB captures
+		// the round scratch itself (the O(n + requests) claim), not just the
+		// steady-state result slices. The GC keeps the heap comparable
+		// across the worker-count iterations.
+		runtime.GC()
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+
 		sel, err := core.NewUniformSelector(n)
 		if err != nil {
 			return EngineResult{}, err
@@ -112,6 +122,7 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 			dates += len(out.Dates)
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&memAfter)
 		sec := elapsed.Seconds() / float64(rounds)
 
 		row := EngineRow{
@@ -129,8 +140,9 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 		res.Rows = append(res.Rows, row)
 		// The bench point rides the unified Report shape: the engine is not
 		// a protocol, but its timed rounds fit the same record every other
-		// BENCH writer emits.
-		res.Points = append(res.Points, PointFromReport(n, run.Report{
+		// BENCH writer emits. The memory columns ride alongside so the
+		// O(n + requests) scratch claim stays visible in the trajectory.
+		p := PointFromReport(n, run.Report{
 			Protocol:  "engine-round",
 			Rounds:    rounds,
 			Completed: true,
@@ -138,7 +150,9 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 			Wall:      elapsed,
 			Seed:      seed,
 			Workers:   workers,
-		}))
+		})
+		p.SampleMem(&memBefore, &memAfter)
+		res.Points = append(res.Points, p)
 	}
 	return res, nil
 }

@@ -212,7 +212,13 @@ func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, e
 	var ref []int
 	var goroutineSec float64
 	for i, spec := range specs {
+		// The memory sample brackets run.Run entirely (runtime construction
+		// included); the GC keeps the heap comparable across engines.
+		runtime.GC()
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		rep, err := run.Run(gossip.LiveConfig{Profile: bandwidth.Homogeneous(n, 1)}, spec.opts...)
+		runtime.ReadMemStats(&memAfter)
 		if err != nil {
 			return LiveBenchResult{}, err
 		}
@@ -226,6 +232,7 @@ func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, e
 			res.Identical = false
 		}
 		p := PointFromReport(n, rep)
+		p.SampleMem(&memBefore, &memAfter)
 		row := LiveBenchRow{
 			Engine:       spec.engine,
 			Shards:       spec.shards,

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/bandwidth"
 	"repro/internal/coding"
@@ -20,6 +21,17 @@ import (
 // BenchPoint is the generic perf-trajectory record the BENCH_*.json writers
 // emit: every field is computed from a run.Report, so any protocol the
 // unified runner can execute can be benchmarked without a bespoke writer.
+//
+// The two memory columns are sampled by the writers (SampleMem) around the
+// whole configuration — scratch construction, warm-up, and timed rounds —
+// rather than derived from the Report: PeakHeapSysMB is the runtime's heap
+// high-water mark taken from the OS (the closest Go-visible proxy for peak
+// RSS; monotonic over the process, so earlier configurations' peaks carry
+// forward), and TotalAllocMB is the bytes the configuration allocated
+// across all goroutines, scratch included. Together
+// they make scratch-memory regressions — e.g. per-worker count arrays
+// creeping back in — visible in the trajectory next to s/round. Zero means
+// the writer did not sample memory.
 type BenchPoint struct {
 	Protocol          string  `json:"protocol"`
 	N                 int     `json:"n"`
@@ -30,6 +42,16 @@ type BenchPoint struct {
 	SecondsPerRound   float64 `json:"seconds_per_round"`
 	Messages          int64   `json:"messages"`
 	MessagesPerSecond float64 `json:"messages_per_second"`
+	PeakHeapSysMB     float64 `json:"peak_heap_sys_mb,omitempty"`
+	TotalAllocMB      float64 `json:"total_alloc_mb,omitempty"`
+}
+
+// SampleMem fills the point's memory columns from two runtime.ReadMemStats
+// samples taken before and after the timed section.
+func (p *BenchPoint) SampleMem(before, after *runtime.MemStats) {
+	const mb = 1 << 20
+	p.PeakHeapSysMB = float64(after.HeapSys) / mb
+	p.TotalAllocMB = float64(after.TotalAlloc-before.TotalAlloc) / mb
 }
 
 // PointFromReport derives the generic bench point of a run over n nodes.
