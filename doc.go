@@ -35,6 +35,13 @@
 //     every budget-fed engine derives randomness per unit of work rather
 //     than per worker, the budget is a pure speed knob: bit-identical
 //     reports at every value.
+//   - WithPipeline batches k rounds at a time through the double-buffered
+//     engine: dating-based rumor runs feed k round seeds to
+//     DatingService.RunRoundsSeeded (round r+1's scatter overlapping round
+//     r's matching; sequential under churn, which needs a per-round alive
+//     barrier), and sharded live runs take the fused delivery+step loop.
+//     Like the worker budget it is a pure speed knob — bit-identical
+//     reports at every depth.
 //   - WithEngine picks the execution substrate for live runs (sharded by
 //     default, goroutine-per-peer on request); under the perfect-sync
 //     network both substrates produce the identical report.
@@ -52,10 +59,10 @@
 // registry's "protocols" entry, the CLIs and the BENCH_*.json writers all
 // consume reports generically.
 //
-// The legacy per-protocol entrypoints (SpreadRumor, SpreadRumorLive,
-// SpreadMultiRumor, Monger, Replicate) remain as thin deprecated wrappers
-// for one release; the seed-compatibility tests pin Run's output
-// bit-for-bit against them.
+// Configs carry only the protocol: the orthogonal axes travel exclusively
+// as options. The legacy per-protocol entrypoints and the config fields
+// that duplicated the axes are gone; the seed-compatibility golden tests
+// pin Run's output bit-for-bit against the pre-refactor implementation.
 //
 // # Below the runner
 //
@@ -82,10 +89,12 @@
 //	res := svc.RunRound(s)                        // one round of Algorithm 1
 //	fmt.Println(len(res.Dates), "dates arranged") // ≈ 0.47 * n
 //
-// # Parallelism: destination-range ownership
+// # Parallelism: the owner-range exchange kernel
 //
 // Every flat engine parallelizes a round as a radix-partitioned counting
-// sort. Workers own two kinds of contiguous ranges — a sender shard
+// sort, and the mechanism is implemented once, in internal/exch: a
+// Partition of [0, n) into uniform owner ranges plus a generic chunked
+// Exchange[T]. Workers own two kinds of contiguous ranges — a sender shard
 // (balanced by request weight) and a destination range (uniform id cuts).
 // During the scatter each worker records every emitted (destination,
 // sender) pair into the chunk buffer of the destination's owner; a tiny
@@ -100,6 +109,15 @@
 // on scheduling. Golden tests pin the engine's output bit-for-bit at
 // workers {1, 2, 4, 8}, and an allocation regression test asserts that
 // first-round bytes do not scale with the worker count.
+//
+// The Exchange double-buffers: Swap flips a front/back pair of chunk
+// buffers, which is what lets consecutive rounds overlap.
+// DatingService.RunRoundsSeeded(seeds, workers) scatters round r+1 into
+// the back buffers while the owners still match round r from the front,
+// and the live runtime's pipelined loop fuses delivery into the step phase
+// (an owner's destination range is its peer range). Both schedules are
+// bit-identical to their sequential counterparts; WithPipeline selects
+// them under Run.
 //
 // # Worker-count-independent engines
 //
@@ -128,7 +146,7 @@
 // rounds. The sharded runtime (internal/live, the default under Run) is
 // the production-scale one: a fixed pool of shard workers owning
 // contiguous peer ranges, messages counting-sorted between rounds with the
-// engines' radix scatter (shards exchange per-owner index chunks and each
+// internal/exch kernel (shards exchange per-owner index chunks and each
 // owner sorts its own peer range — delivery scratch is O(n + messages)),
 // outgoing buffers prefix-summed into disjoint delivery-ring ranges so the
 // route phase copies in parallel, per-peer streams seeded SplitMix64(seed,

@@ -37,32 +37,31 @@ func ExampleRun() {
 	// true
 }
 
-// Rumor spreading completes in O(log n) rounds; at n = 1024 that is a few
-// dozen rounds for the dating-based spreader.
-func ExampleSpreadRumor() {
-	s := repro.NewStream(7)
-	res, _ := repro.SpreadRumor(repro.RumorConfig{
-		N:         1024,
-		Algorithm: repro.Dating,
-		Source:    0,
-	}, s)
+// Pipelining batches dating rounds through the double-buffered engine —
+// round r+1's scatter overlaps round r's matching — without moving a single
+// number: the report is bit-identical to the sequential schedule.
+func ExampleWithPipeline() {
+	spec := repro.RumorConfig{N: 1024, Algorithm: repro.Dating}
 
-	fmt.Println(res.Completed)
-	fmt.Println(res.Rounds > 10 && res.Rounds < 60)
+	sequential, _ := repro.Run(spec, repro.WithSeed(7))
+	pipelined, _ := repro.Run(spec, repro.WithSeed(7), repro.WithPipeline(4), repro.WithWorkers(4))
+
+	fmt.Println(sequential.Completed)
+	fmt.Println(sequential.Rounds == pipelined.Rounds && sequential.Messages == pipelined.Messages)
 	// Output:
 	// true
 	// true
 }
 
-// The parallel engine shards a round across worker goroutines and stays
-// exactly reproducible for a fixed (seed, workers) pair.
-func ExampleRunParallelRound() {
+// The seeded engine shards a round across worker goroutines, and the worker
+// count never changes the arranged dates — it is a pure speed knob.
+func ExampleDatingService_RunRoundSeeded() {
 	profile := repro.UnitBandwidth(10000)
 	sel, _ := repro.Uniform(10000)
 	svc, _ := repro.NewDatingService(profile, sel)
 
-	a, _ := repro.RunParallelRound(svc, 42, 4)
-	b, _ := repro.RunParallelRound(svc, 42, 4)
+	a, _ := svc.RunRoundSeeded(42, 1)
+	b, _ := svc.RunRoundSeeded(42, 4)
 
 	frac := a.Fraction(svc.M())
 	fmt.Println(len(a.Dates) == len(b.Dates) && a.Dates[0] == b.Dates[0])
@@ -92,16 +91,15 @@ func ExampleRingSelection() {
 
 // Broadcasting a multi-block message with network coding over the dating
 // service: every node decodes the full message, verified bit-exactly.
-func ExampleMonger() {
-	s := repro.NewStream(5)
-	res, _ := repro.Monger(repro.MongerConfig{
+func ExampleRun_monger() {
+	rep, _ := repro.Run(repro.MongerConfig{
 		N:         50,
 		Blocks:    8,
 		BlockSize: 32,
-	}, s)
+	}, repro.WithSeed(5))
 
-	fmt.Println(res.Completed)
-	fmt.Println(res.Rounds >= 8) // at least one round per block at unit bandwidth
+	fmt.Println(rep.Completed)
+	fmt.Println(rep.Rounds >= 8) // at least one round per block at unit bandwidth
 	// Output:
 	// true
 	// true

@@ -26,12 +26,6 @@ type MongerConfig struct {
 	MaxRounds int
 	// Seed for the message content (the "movie" being distributed).
 	PayloadSeed uint64
-	// Workers, if at least 1, arranges every dating round on the seeded
-	// engine (core.Service.RunRoundSeeded) with that many workers, with a
-	// per-round seed drawn off the run stream — bit-identical for every
-	// Workers >= 1, exactly as gossip.Config.Workers. 0 keeps the legacy
-	// serial path driven directly by the run stream.
-	Workers int
 }
 
 // MongerResult reports a mongering run.
@@ -49,12 +43,10 @@ func (c MongerConfig) Protocol() string { return "monger" }
 
 // Execute implements run.Spec: the run stream derives from the root seed
 // under DomainMonger and every dating round draws its workers from the
-// shared budget (cfg.Workers is ignored). Trajectory is the fully-decoded
-// node history; Detail the full MongerResult.
+// shared budget. Trajectory is the fully-decoded node history; Detail the
+// full MongerResult.
 func (c MongerConfig) Execute(o *run.Options) (run.Report, error) {
-	cfg := c
-	cfg.Workers = 0 // the budget drives the engine
-	res, err := runMongerBudgeted(cfg, run.StreamFor(o.Seed, run.DomainMonger), o.Budget)
+	res, err := runMongerBudgeted(c, run.StreamFor(o.Seed, run.DomainMonger), o.Budget)
 	if err != nil {
 		return run.Report{}, err
 	}
@@ -74,9 +66,10 @@ func RunMonger(cfg MongerConfig, s *rng.Stream) (MongerResult, error) {
 	return runMongerBudgeted(cfg, s, nil)
 }
 
-// runMongerBudgeted is RunMonger with an optional shared worker budget;
-// non-nil b runs every dating round on the seeded engine with the caller's
-// worker plus the pool's spare tokens, overriding cfg.Workers.
+// runMongerBudgeted is RunMonger with an optional shared worker budget.
+// Every dating round runs on the seeded engine with one seed drawn off the
+// run stream; a non-nil b lets each round soak up the pool's spare tokens,
+// and the worker count is a pure speed knob either way.
 func runMongerBudgeted(cfg MongerConfig, s *rng.Stream, b *par.Budget) (MongerResult, error) {
 	if cfg.N <= 1 {
 		return MongerResult{}, fmt.Errorf("coding: mongering needs n > 1, got %d", cfg.N)
@@ -136,31 +129,21 @@ func runMongerBudgeted(cfg MongerConfig, s *rng.Stream, b *par.Budget) (MongerRe
 		maxRounds = 8 * (cfg.Blocks + 64)
 	}
 
-	if cfg.Workers < 0 {
-		return MongerResult{}, fmt.Errorf("coding: workers %d must be non-negative", cfg.Workers)
-	}
-
 	var res MongerResult
 	for round := 1; round <= maxRounds; round++ {
-		var dates []core.Date
-		if b != nil || cfg.Workers >= 1 {
-			// One draw per round whatever the worker count, so the run
-			// stream evolves identically for every Workers value.
-			seed := s.Uint64()
-			var rres core.RoundResult
-			var err error
-			if b != nil {
-				rres, err = svc.RunRoundShared(seed, b)
-			} else {
-				rres, err = svc.RunRoundSeeded(seed, cfg.Workers)
-			}
-			if err != nil {
-				return MongerResult{}, err
-			}
-			dates = rres.Dates
+		// One draw per round whatever the worker count, so the run stream
+		// evolves identically for every budget size.
+		seed := s.Uint64()
+		var rres core.RoundResult
+		if b != nil {
+			rres, err = svc.RunRoundShared(seed, b)
 		} else {
-			dates = svc.RunRound(s).Dates
+			rres, err = svc.RunRoundSeeded(seed, 1)
 		}
+		if err != nil {
+			return MongerResult{}, err
+		}
+		dates := rres.Dates
 		// Transmissions use the start-of-round spans: emit all packets
 		// first, then deliver, so a packet relayed within the same round
 		// cannot leapfrog (synchronous model).

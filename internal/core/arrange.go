@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exch"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -50,6 +51,8 @@ type Arranger struct {
 	sel Selector
 
 	ws         []arrangeWorker
+	offers     exchInt32
+	reqs       exchInt32
 	offerOff   []int32 // len n+1: offers bucket v is offersFlat[offerOff[v]:offerOff[v+1]]
 	reqOff     []int32
 	offersFlat []int32
@@ -113,7 +116,6 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 		}
 	}
 	a.ensure(n, workers)
-	scratch := func(w int) *workerScratch { return &a.ws[w].workerScratch }
 
 	// Scatter: worker w draws destinations for its node shard, one derived
 	// stream per node, recording each pair into the chunk of the
@@ -123,7 +125,9 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 	a.senderCut = balancedCuts(a.senderCut, n, workers, func(i int) int { return out[i] + in[i] })
 	runPhase(workers, func(w int) {
 		ws := &a.ws[w]
-		ws.reset(workers)
+		ws.reset()
+		a.offers.ClearWorker(w)
+		a.reqs.ClearWorker(w)
 		for i := a.senderCut[w]; i < a.senderCut[w+1]; i++ {
 			if out[i] == 0 && in[i] == 0 {
 				continue
@@ -131,19 +135,20 @@ func (a *Arranger) Arrange(out, in []int, seed uint64, workers int) ([]Date, err
 			ws.gen.Seed(rng.Derive(seed, domainScatter, uint64(i)))
 			for k := 0; k < out[i]; k++ {
 				dest := a.sel.Pick(ws.stream)
-				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
+				a.offers.Record(w, int32(dest), int32(i))
 			}
 			for k := 0; k < in[i]; k++ {
 				dest := a.sel.Pick(ws.stream)
-				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
+				a.reqs.Record(w, int32(dest), int32(i))
 			}
 		}
 	})
 
 	// Exchange + sort: counting-sort the recorded requests into one
 	// contiguous buffer per kind, every bucket in global sender order (see
-	// radixSort in engine.go).
-	a.offersFlat, a.reqFlat = radixSort(n, workers, scratch, a.offerOff, a.reqOff, a.offersFlat, a.reqFlat)
+	// sortPairs in engine.go).
+	a.offersFlat, a.reqFlat = sortPairs(n, workers, &a.offers, &a.reqs,
+		a.offerOff, a.reqOff, a.offersFlat, a.reqFlat)
 
 	// Match: shard rendezvous nodes by bucket size, one derived stream per
 	// bucket. Buckets where either side is empty arrange nothing and consume
@@ -191,6 +196,9 @@ func (a *Arranger) ensure(n, workers int) {
 		a.offerOff = make([]int32, n+1)
 		a.reqOff = make([]int32, n+1)
 	}
+	part := exch.Partition{N: n, Parts: workers}
+	a.offers.Reset(workers, part)
+	a.reqs.Reset(workers, part)
 }
 
 // ArrangeDates is the one-shot convenience form of Arranger.Arrange: it

@@ -5,23 +5,23 @@ package core
 //
 // Instead of appending each request to a per-rendezvous slice (one heap
 // object per node, pointer-chasing in the match pass), the engine lays the
-// round out as a radix-partitioned counting sort keyed by rendezvous.
-// Workers own two kinds of contiguous ranges: a *sender* shard (which nodes
-// they scatter for) and a *destination* range (which rendezvous buckets they
-// build). A round runs as:
+// round out on the owner-range exchange kernel of internal/exch: a
+// radix-partitioned counting sort keyed by rendezvous. Workers own two
+// kinds of contiguous ranges: a *sender* shard (which nodes they scatter
+// for) and a *destination* range (which rendezvous buckets they build,
+// exch.Partition's uniform id cuts). A round runs as:
 //
 //	scatter   each worker draws destinations for a contiguous shard of
 //	          senders and records every emitted (dest, sender) pair into the
-//	          chunk buffer of the destination's owner — one small buffer per
-//	          (worker, owner) pair, filled in scan order;
-//	exchange  a tiny serial pass sums each owner's incoming chunk lengths
-//	          (O(workers²), no length-n scan) and prefixes them into per-
-//	          owner base offsets in the flat output arrays;
-//	sort      each owner counting-sorts its own destination range: it counts
-//	          its incoming pairs into a count array covering only its range,
-//	          prefixes counts into the global bucket offsets (bucket v of
-//	          each kind is the contiguous region flat[off[v]:off[v+1]]), and
-//	          replays the chunks — in worker order — into the cursors;
+//	          exchange chunk of the destination's owner — one small buffer
+//	          per (worker, owner) pair, filled in scan order;
+//	exchange  exch.Prefix — a tiny serial pass over each owner's incoming
+//	          chunk lengths (O(workers²), no length-n scan) prefixed into
+//	          per-owner base offsets in the flat output arrays;
+//	sort      exch.Fill per owner — each owner counting-sorts its own
+//	          destination range (count array covering only that range,
+//	          bucket v of each kind ends up as flat[off[v]:off[v+1]]),
+//	          replaying the chunks in worker order;
 //	match     each worker runs MatchRendezvous over a contiguous shard of
 //	          rendezvous buckets, appending to a private date buffer;
 //	merge     date buffers are concatenated in worker order and the
@@ -30,10 +30,9 @@ package core
 // Because chunks are recorded in scan order within a worker, worker sender
 // shards are contiguous ascending ranges, and each owner replays chunks in
 // worker order, bucket v always holds its requests in global sender order —
-// exactly the layout of the pre-radix engine, whose per-worker length-n
-// count arrays this scheme replaces. The layout — and therefore the whole
-// round — is a pure function of (profile, selector, worker streams,
-// workers, alive): results are exactly reproducible for a fixed
+// exactly the layout of the pre-radix engine. The layout — and therefore
+// the whole round — is a pure function of (profile, selector, worker
+// streams, workers, alive): results are exactly reproducible for a fixed
 // (seed, workers) pair, on any GOMAXPROCS, under any goroutine schedule.
 //
 // Memory is O(n + requests) regardless of the worker count: the owners'
@@ -48,6 +47,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exch"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -63,89 +63,47 @@ type Preparer interface {
 	Prepare() error
 }
 
-// pairChunk records the (dest, sender) pairs one worker emitted into one
-// destination owner's range, in scan (sender) order.
-type pairChunk struct {
-	dest   []int32
-	sender []int32
-}
+// exchInt32 shortens the request-exchange type: keys are rendezvous ids,
+// values sender ids.
+type exchInt32 = exch.Exchange[int32]
 
-func (ch *pairChunk) push(dest, sender int) {
-	ch.dest = append(ch.dest, int32(dest))
-	ch.sender = append(ch.sender, int32(sender))
-}
-
-// workerScratch is the per-worker slice of the engine state. During the
-// scatter a worker only appends to its own chunks; during the sort it owns
-// one destination range and reads every worker's chunks addressed to it —
-// the phases are separated by a barrier, so no locking is needed.
+// workerScratch is the per-worker slice of the engine state that is not
+// part of the request exchange: the private date buffer of the match pass
+// and the control-message counters of the scatter pass.
 type workerScratch struct {
-	// offerChunk[o] / reqChunk[o] hold the pairs this worker emitted into
-	// owner o's destination range. Requests lost to a dead rendezvous are
-	// never recorded.
-	offerChunk []pairChunk
-	reqChunk   []pairChunk
-
-	// Owner-side scratch: per-destination counts over this worker's own
-	// destination range [destCut(w), destCut(w+1)), rewritten in place into
-	// absolute write cursors during the sort pass.
-	offerCount []int32
-	reqCount   []int32
-
-	// baseOff/baseReq are this owner's first slots in the flat arrays, set
-	// by the serial exchange prefix.
-	baseOff int32
-	baseReq int32
-
 	dates        []Date
 	offersSent   int
 	requestsSent int
 }
 
-// reset readies the scratch for a round at the given worker count. Chunks
-// beyond workers are left untouched: they are never read by a round of this
-// width.
-func (ws *workerScratch) reset(workers int) {
-	for len(ws.offerChunk) < workers {
-		ws.offerChunk = append(ws.offerChunk, pairChunk{})
-		ws.reqChunk = append(ws.reqChunk, pairChunk{})
-	}
-	for o := 0; o < workers; o++ {
-		ws.offerChunk[o].dest = ws.offerChunk[o].dest[:0]
-		ws.offerChunk[o].sender = ws.offerChunk[o].sender[:0]
-		ws.reqChunk[o].dest = ws.reqChunk[o].dest[:0]
-		ws.reqChunk[o].sender = ws.reqChunk[o].sender[:0]
-	}
+// reset readies the scratch for a round.
+func (ws *workerScratch) reset() {
 	ws.dates = ws.dates[:0]
 	ws.offersSent = 0
 	ws.requestsSent = 0
 }
 
-// sizeCounts sizes the owner-side count arrays to this owner's range and
-// zeroes them.
-func (ws *workerScratch) sizeCounts(size int) {
-	if cap(ws.offerCount) < size || cap(ws.reqCount) < size {
-		ws.offerCount = make([]int32, size)
-		ws.reqCount = make([]int32, size)
-		return
-	}
-	ws.offerCount = ws.offerCount[:size]
-	ws.reqCount = ws.reqCount[:size]
-	for i := range ws.offerCount {
-		ws.offerCount[i] = 0
-		ws.reqCount[i] = 0
-	}
-}
-
 // engineScratch is the round state a Service reuses across rounds. It grows
 // to the largest (n, workers) seen and is never shared between Services.
 type engineScratch struct {
-	ws         []workerScratch
+	ws []workerScratch
+
+	// offers/reqs are the owner-range exchanges of the round's two request
+	// kinds: keys are rendezvous ids, values sender ids.
+	offers exch.Exchange[int32]
+	reqs   exch.Exchange[int32]
+	// offersBack/reqsBack are the ping-pong twins used by the pipelined
+	// multi-round path (rounds.go): while offers/reqs hold round r being
+	// matched, workers record round r+1 into the back pair, then Swap.
+	offersBack exch.Exchange[int32]
+	reqsBack   exch.Exchange[int32]
+
 	offerOff   []int32 // len n+1: offers bucket v is offersFlat[offerOff[v]:offerOff[v+1]]
 	reqOff     []int32
 	offersFlat []int32
 	reqFlat    []int32
 	senderCut  []int // len workers+1: worker w scatters senders [cut[w], cut[w+1])
+	liveCut    []int // churn-rebalanced sender cuts of the filtered seeded path
 	rdvCut     []int // len workers+1: worker w matches rendezvous [cut[w], cut[w+1])
 	one        [1]*rng.Stream
 
@@ -205,87 +163,29 @@ func runPhase(workers int, f func(w int)) {
 	par.Do(workers, f)
 }
 
-// destCut returns the start of owner p's destination range: the destination
-// space [0, n) is partitioned into the uniform id ranges
-// [destCut(p), destCut(p+1)). The cuts are a pure function of (n, workers),
-// and — unlike the sender shards — never affect the output, only which
-// worker builds which buckets.
-func destCut(n, workers, p int) int { return n * p / workers }
-
-// destOwner returns the owner of destination d under destCut's partition:
-// the largest p with destCut(p) <= d. Owners with empty ranges are never
-// returned.
-func destOwner(n, workers, d int) int { return ((d+1)*workers - 1) / n }
-
-// radixSort is the exchange + sort pass shared by the Service round paths
-// and the Arranger: after the scatter barrier it prefixes each owner's
-// incoming chunk totals into base offsets (a serial O(workers²) pass — the
-// only serial work, with no length-n scan), then each owner counting-sorts
-// its own destination range in parallel: count incoming pairs into a
-// range-local count array, prefix the counts into the global bucket offset
-// tables, and replay every worker's chunks — in worker order — through the
-// cursors. Bucket v of each kind ends up as the contiguous region
-// flat[off[v]:off[v+1]] holding its senders in global sender order.
-//
-// The flat arrays are grown as needed and returned; offerOff and reqOff
-// must have length n+1.
-func radixSort(n, workers int, scratch func(w int) *workerScratch, offerOff, reqOff []int32, offersFlat, reqFlat []int32) ([]int32, []int32) {
-	var offTotal, reqTotal int32
-	for o := 0; o < workers; o++ {
-		var ot, rt int32
-		for w := 0; w < workers; w++ {
-			ws := scratch(w)
-			ot += int32(len(ws.offerChunk[o].dest))
-			rt += int32(len(ws.reqChunk[o].dest))
-		}
-		os := scratch(o)
-		os.baseOff, offTotal = offTotal, offTotal+ot
-		os.baseReq, reqTotal = reqTotal, reqTotal+rt
-	}
+// sortPairs is the exchange + sort pass shared by the Service round paths
+// and the Arranger: Prefix both exchanges serially, grow the flat arrays,
+// then fan the owners out to Fill their destination ranges (see
+// internal/exch for the kernel's layout guarantees). The flat arrays are
+// grown as needed and returned; offerOff and reqOff must have length n+1.
+func sortPairs(n, workers int, offers, reqs *exch.Exchange[int32], offerOff, reqOff []int32, offersFlat, reqFlat []int32) ([]int32, []int32) {
+	offTotal := offers.Prefix()
+	reqTotal := reqs.Prefix()
 	offersFlat = grow(offersFlat, int(offTotal))
 	reqFlat = grow(reqFlat, int(reqTotal))
-
 	runPhase(workers, func(o int) {
-		ws := scratch(o)
-		lo, hi := destCut(n, workers, o), destCut(n, workers, o+1)
-		ws.sizeCounts(hi - lo)
-		for w := 0; w < workers; w++ {
-			src := scratch(w)
-			for _, d := range src.offerChunk[o].dest {
-				ws.offerCount[int(d)-lo]++
-			}
-			for _, d := range src.reqChunk[o].dest {
-				ws.reqCount[int(d)-lo]++
-			}
-		}
-		ot, rt := ws.baseOff, ws.baseReq
-		for v := lo; v < hi; v++ {
-			offerOff[v] = ot
-			c := ws.offerCount[v-lo]
-			ws.offerCount[v-lo] = ot
-			ot += c
-			reqOff[v] = rt
-			c = ws.reqCount[v-lo]
-			ws.reqCount[v-lo] = rt
-			rt += c
-		}
-		for w := 0; w < workers; w++ {
-			src := scratch(w)
-			ch := &src.offerChunk[o]
-			for k, d := range ch.dest {
-				offersFlat[ws.offerCount[int(d)-lo]] = ch.sender[k]
-				ws.offerCount[int(d)-lo]++
-			}
-			ch = &src.reqChunk[o]
-			for k, d := range ch.dest {
-				reqFlat[ws.reqCount[int(d)-lo]] = ch.sender[k]
-				ws.reqCount[int(d)-lo]++
-			}
-		}
+		offers.Fill(o, offerOff, offersFlat)
+		reqs.Fill(o, reqOff, reqFlat)
 	})
 	offerOff[n] = offTotal
 	reqOff[n] = reqTotal
 	return offersFlat, reqFlat
+}
+
+// sortRound runs sortPairs on the engine's front exchanges.
+func (eng *engineScratch) sortRound(n, workers int) {
+	eng.offersFlat, eng.reqFlat = sortPairs(n, workers, &eng.offers, &eng.reqs,
+		eng.offerOff, eng.reqOff, eng.offersFlat, eng.reqFlat)
 }
 
 // runEngine is the shared round body.
@@ -300,7 +200,9 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 	out, in := sv.profile.Out, sv.profile.In
 	runPhase(workers, func(w int) {
 		ws := &eng.ws[w]
-		ws.reset(workers)
+		ws.reset()
+		eng.offers.ClearWorker(w)
+		eng.reqs.ClearWorker(w)
 		s := streams[w]
 		for i := eng.senderCut[w]; i < eng.senderCut[w+1]; i++ {
 			if alive != nil && !alive(i) {
@@ -311,7 +213,7 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 				if alive != nil && !alive(dest) {
 					continue // lost: rendezvous is down
 				}
-				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
+				eng.offers.Record(w, int32(dest), int32(i))
 				ws.offersSent++
 			}
 			for k := 0; k < in[i]; k++ {
@@ -319,15 +221,15 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 				if alive != nil && !alive(dest) {
 					continue
 				}
-				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
+				eng.reqs.Record(w, int32(dest), int32(i))
 				ws.requestsSent++
 			}
 		}
 	})
 
 	// Exchange + sort: counting-sort the recorded requests into one
-	// contiguous buffer per kind (see radixSort for the layout).
-	eng.offersFlat, eng.reqFlat = radixSort(n, workers, scratch, eng.offerOff, eng.reqOff, eng.offersFlat, eng.reqFlat)
+	// contiguous buffer per kind (see sortPairs for the layout).
+	eng.sortRound(n, workers)
 
 	// Match: shard rendezvous nodes across workers, balanced by bucket
 	// size (the shuffle cost of MatchRendezvous is linear in it).
@@ -350,10 +252,11 @@ func (sv *Service) runEngine(streams []*rng.Stream, workers int, alive func(i in
 	return mergeRound(n, workers, scratch)
 }
 
-// mergeRound concatenates per-worker dates in worker order and rebuilds the
-// per-node counters from the merged list; shared by the worker-stream and
-// the seeded round paths.
-func mergeRound(n, workers int, scratch func(w int) *workerScratch) RoundResult {
+// mergeDates concatenates per-worker dates in worker order and rebuilds the
+// per-node counters from the merged list, leaving the control-message
+// counters to the caller (the pipelined path captures them a fanout
+// earlier, before the fused scatter of the next round overwrites them).
+func mergeDates(n, workers int, scratch func(w int) *workerScratch) RoundResult {
 	res := RoundResult{
 		PerNodeOut: make([]int, n),
 		PerNodeIn:  make([]int, n),
@@ -364,10 +267,7 @@ func mergeRound(n, workers int, scratch func(w int) *workerScratch) RoundResult 
 	}
 	res.Dates = make([]Date, 0, total)
 	for w := 0; w < workers; w++ {
-		ws := scratch(w)
-		res.Dates = append(res.Dates, ws.dates...)
-		res.OffersSent += ws.offersSent
-		res.RequestsSent += ws.requestsSent
+		res.Dates = append(res.Dates, scratch(w).dates...)
 	}
 	for _, d := range res.Dates {
 		res.PerNodeOut[d.Sender]++
@@ -376,10 +276,23 @@ func mergeRound(n, workers int, scratch func(w int) *workerScratch) RoundResult 
 	return res
 }
 
+// mergeRound is mergeDates plus the control-message counters, for the
+// single-round paths where the scratch still holds this round's counts.
+func mergeRound(n, workers int, scratch func(w int) *workerScratch) RoundResult {
+	res := mergeDates(n, workers, scratch)
+	for w := 0; w < workers; w++ {
+		ws := scratch(w)
+		res.OffersSent += ws.offersSent
+		res.RequestsSent += ws.requestsSent
+	}
+	return res
+}
+
 // ensure sizes the scratch for an (n, workers) round and recomputes the
 // sender shard boundaries when the worker count changes. Sender shards are
 // balanced by per-node request weight bout(i)+bin(i), so skewed profiles
-// still split evenly.
+// still split evenly. The request exchanges are re-partitioned every round
+// (a no-op while (n, workers) is stable).
 func (eng *engineScratch) ensure(n, workers int) {
 	if len(eng.ws) < workers {
 		eng.ws = append(eng.ws, make([]workerScratch, workers-len(eng.ws))...)
@@ -389,6 +302,9 @@ func (eng *engineScratch) ensure(n, workers int) {
 		eng.reqOff = make([]int32, n+1)
 		eng.cutWorkers = 0
 	}
+	part := exch.Partition{N: n, Parts: workers}
+	eng.offers.Reset(workers, part)
+	eng.reqs.Reset(workers, part)
 	if eng.cutWorkers != workers {
 		// The profile is fixed for the Service's lifetime, so the cuts only
 		// depend on the worker count; eng.weight is set by NewService.

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/rng"
+)
+
+func TestRunRoundsSeededPipelined(t *testing.T) {
+	// Pipelined RunRoundsSeeded(seeds, w) must be bit-identical to running
+	// RunRoundSeeded(seed, w) sequentially for every seed — at every worker
+	// count, so the fusion of match(r) with scatter(r+1) is provably a pure
+	// scheduling change.
+	profile, err := bandwidth.Geometric(3000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewUniformSelector(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(0xBEEF)
+	seeds := make([]uint64, 6)
+	for i := range seeds {
+		seeds[i] = s.Uint64()
+	}
+
+	ref := make([]RoundResult, len(seeds))
+	{
+		svc, err := NewService(profile, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, seed := range seeds {
+			res, err := svc.RunRoundSeeded(seed, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[r] = res
+		}
+	}
+	if len(ref[0].Dates) == 0 {
+		t.Fatal("no dates arranged")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		svc, err := NewService(profile, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := svc.RunRoundsSeeded(seeds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
+		}
+		for r := range got {
+			if err := ValidateCapacities(got[r], profile); err != nil {
+				t.Fatalf("workers=%d round %d: %v", workers, r, err)
+			}
+			if !reflect.DeepEqual(got[r], ref[r]) {
+				t.Fatalf("workers=%d: pipelined round %d diverged from sequential (%d vs %d dates)",
+					workers, r, len(got[r].Dates), len(ref[r].Dates))
+			}
+		}
+	}
+}
+
+func TestRunRoundsSeededScratchReuse(t *testing.T) {
+	// A Service must give the same batch after interleaving every other
+	// round path — the back buffers may hold stale chunks from a previous
+	// batch and must be cleared per round, not trusted.
+	profile := bandwidth.Homogeneous(500, 2)
+	sel, _ := NewUniformSelector(500)
+	svc, err := NewService(profile, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []uint64{3, 1, 4, 1, 5}
+	first, err := svc.RunRoundsSeeded(seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RunRound(rng.New(9))
+	if _, err := svc.RunRoundSeeded(77, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RunRoundParallel(rng.NewStreams(5, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := svc.RunRoundsSeeded(seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("interleaving other round paths changed a pipelined batch")
+	}
+	if _, err := svc.RunRoundsSeeded(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RunRoundsSeeded(seeds, 0); err == nil {
+		t.Error("accepted workers = 0")
+	}
+}

@@ -79,42 +79,21 @@ func (sv *Service) RunRoundSeededFiltered(seed uint64, workers int, alive func(i
 	eng.ensure(n, workers)
 	eng.ensureSeeded(workers)
 	scratch := func(w int) *workerScratch { return &eng.ws[w] }
+	cut := eng.senderShards(n, workers, alive)
 
 	// Scatter: worker w draws destinations for its sender shard, reseeding
 	// its generator once per live node and recording each pair into the
 	// chunk of the destination's owner. The shard cuts only affect which
 	// worker does the work, never the draws.
-	out, in := sv.profile.Out, sv.profile.In
 	runPhase(workers, func(w int) {
-		ws := &eng.ws[w]
-		ws.reset(workers)
-		gen, s := eng.seedGens[w], eng.seedStreams[w]
-		for i := eng.senderCut[w]; i < eng.senderCut[w+1]; i++ {
-			if alive != nil && !alive(i) {
-				continue
-			}
-			gen.Seed(rng.Derive(seed, domainScatter, uint64(i)))
-			for k := 0; k < out[i]; k++ {
-				dest := sv.sel.Pick(s)
-				if alive != nil && !alive(dest) {
-					continue // lost: rendezvous is down
-				}
-				ws.offerChunk[destOwner(n, workers, dest)].push(dest, i)
-				ws.offersSent++
-			}
-			for k := 0; k < in[i]; k++ {
-				dest := sv.sel.Pick(s)
-				if alive != nil && !alive(dest) {
-					continue
-				}
-				ws.reqChunk[destOwner(n, workers, dest)].push(dest, i)
-				ws.requestsSent++
-			}
-		}
+		eng.ws[w].reset()
+		eng.offers.ClearWorker(w)
+		eng.reqs.ClearWorker(w)
+		eng.scatterSeeded(sv, w, cut, seed, alive, &eng.offers, &eng.reqs)
 	})
 
 	// Exchange + sort: identical to the worker-stream path.
-	eng.offersFlat, eng.reqFlat = radixSort(n, workers, scratch, eng.offerOff, eng.reqOff, eng.offersFlat, eng.reqFlat)
+	eng.sortRound(n, workers)
 
 	// Match: one derived stream per rendezvous bucket. Buckets with either
 	// side empty arrange nothing and consume no randomness, so they are
@@ -123,23 +102,82 @@ func (sv *Service) RunRoundSeededFiltered(seed uint64, workers int, alive func(i
 		return int(eng.offerOff[v+1]-eng.offerOff[v]) + int(eng.reqOff[v+1]-eng.reqOff[v])
 	})
 	runPhase(workers, func(w int) {
-		ws := &eng.ws[w]
-		gen, s := eng.seedGens[w], eng.seedStreams[w]
-		emit := func(sender, receiver int32) {
-			ws.dates = append(ws.dates, Date{Sender: int(sender), Receiver: int(receiver)})
-		}
-		for v := eng.rdvCut[w]; v < eng.rdvCut[w+1]; v++ {
-			offers := eng.offersFlat[eng.offerOff[v]:eng.offerOff[v+1]]
-			requests := eng.reqFlat[eng.reqOff[v]:eng.reqOff[v+1]]
-			if len(offers) == 0 || len(requests) == 0 {
-				continue
-			}
-			gen.Seed(rng.Derive(seed, domainMatch, uint64(v)))
-			MatchRendezvous(offers, requests, s, emit)
-		}
+		eng.ws[w].dates = eng.ws[w].dates[:0]
+		eng.matchSeeded(w, seed)
 	})
 
 	return mergeRound(n, workers, scratch), nil
+}
+
+// scatterSeeded runs worker w's share of a seeded scatter pass over the
+// sender shard cut[w]..cut[w+1], recording into the given exchange pair
+// (the pipelined path points it at the back buffers). The caller resets the
+// counters and clears the exchange rows; this only appends.
+func (eng *engineScratch) scatterSeeded(sv *Service, w int, cut []int, seed uint64, alive func(i int) bool, offers, reqs *exchInt32) {
+	ws := &eng.ws[w]
+	out, in := sv.profile.Out, sv.profile.In
+	gen, s := eng.seedGens[w], eng.seedStreams[w]
+	for i := cut[w]; i < cut[w+1]; i++ {
+		if alive != nil && !alive(i) {
+			continue
+		}
+		gen.Seed(rng.Derive(seed, domainScatter, uint64(i)))
+		for k := 0; k < out[i]; k++ {
+			dest := sv.sel.Pick(s)
+			if alive != nil && !alive(dest) {
+				continue // lost: rendezvous is down
+			}
+			offers.Record(w, int32(dest), int32(i))
+			ws.offersSent++
+		}
+		for k := 0; k < in[i]; k++ {
+			dest := sv.sel.Pick(s)
+			if alive != nil && !alive(dest) {
+				continue
+			}
+			reqs.Record(w, int32(dest), int32(i))
+			ws.requestsSent++
+		}
+	}
+}
+
+// matchSeeded runs worker w's share of a seeded match pass over the sorted
+// front buffers, appending to the worker's date buffer.
+func (eng *engineScratch) matchSeeded(w int, seed uint64) {
+	ws := &eng.ws[w]
+	gen, s := eng.seedGens[w], eng.seedStreams[w]
+	emit := func(sender, receiver int32) {
+		ws.dates = append(ws.dates, Date{Sender: int(sender), Receiver: int(receiver)})
+	}
+	for v := eng.rdvCut[w]; v < eng.rdvCut[w+1]; v++ {
+		offers := eng.offersFlat[eng.offerOff[v]:eng.offerOff[v+1]]
+		requests := eng.reqFlat[eng.reqOff[v]:eng.reqOff[v+1]]
+		if len(offers) == 0 || len(requests) == 0 {
+			continue
+		}
+		gen.Seed(rng.Derive(seed, domainMatch, uint64(v)))
+		MatchRendezvous(offers, requests, s, emit)
+	}
+}
+
+// senderShards returns the sender cuts of a seeded round. Unfiltered rounds
+// use the static profile-weight cuts of ensure. Under churn the static cuts
+// skew — when crashes concentrate in one id region its workers idle while
+// the rest carry the round — so filtered rounds rebalance by *live* weight:
+// a dead node weighs zero. Rebalancing only moves work between workers; the
+// seeded randomness scheme makes the result independent of the cuts, so the
+// output is unchanged (the churn tests pin this bit-for-bit).
+func (eng *engineScratch) senderShards(n, workers int, alive func(i int) bool) []int {
+	if alive == nil {
+		return eng.senderCut
+	}
+	eng.liveCut = balancedCuts(eng.liveCut, n, workers, func(i int) int {
+		if !alive(i) {
+			return 0
+		}
+		return eng.weight(i)
+	})
+	return eng.liveCut
 }
 
 // ensureSeeded sizes the reseedable generators of the seeded round path.

@@ -146,105 +146,68 @@ func TestSeededRoundValidation(t *testing.T) {
 	}
 }
 
-func TestDestOwnerPartition(t *testing.T) {
-	// destOwner(d) must return exactly the owner whose destCut range holds
-	// d, for every destination and worker count — owners with empty ranges
-	// are never returned.
-	for _, tc := range []struct{ n, workers int }{
-		{1, 1}, {17, 2}, {100, 3}, {1000, 8}, {1000, 16}, {3, 16}, {10, 4},
-	} {
-		for d := 0; d < tc.n; d++ {
-			o := destOwner(tc.n, tc.workers, d)
-			if o < 0 || o >= tc.workers {
-				t.Fatalf("n=%d workers=%d: owner(%d) = %d out of range", tc.n, tc.workers, d, o)
-			}
-			if lo, hi := destCut(tc.n, tc.workers, o), destCut(tc.n, tc.workers, o+1); d < lo || d >= hi {
-				t.Fatalf("n=%d workers=%d: owner(%d) = %d but range is [%d, %d)", tc.n, tc.workers, d, o, lo, hi)
-			}
-		}
+func TestSeededFilteredChurnRebalance(t *testing.T) {
+	// Under skewed churn — every crash concentrated in the low id half — the
+	// static profile-weight cuts would leave the low-half workers idle. The
+	// filtered seeded path rebalances sender shards by live weight; the
+	// rebalanced cuts must split the surviving weight evenly, and (because
+	// seeded randomness derives per node, not per worker) the round's output
+	// must stay bit-identical to the static-cut workers=1 round.
+	const n = 4000
+	profile := bandwidth.Homogeneous(n, 2)
+	sel, _ := NewUniformSelector(n)
+	alive := func(i int) bool { return i >= n/2 } // low half crashed
+	svc, err := NewService(profile, sel)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
+	const workers = 4
+	res, err := svc.RunRoundSeededFiltered(31, workers, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-// fillChunks populates per-(worker, owner) chunk buffers with a
-// deterministic pseudo-random request pattern (in scan order per worker),
-// returning the scratch plus the reference flat layout: buckets in
-// rendezvous order, each holding its senders in (worker, scan) order.
-func fillChunks(n, workers, perWorker int, seed uint64) (ws []workerScratch, wantOffers, wantReqs [][]int32) {
-	ws = make([]workerScratch, workers)
-	wantOffers = make([][]int32, n)
-	wantReqs = make([][]int32, n)
-	s := rng.New(seed)
-	for w := range ws {
-		ws[w].reset(workers)
+	// The live cuts were rebuilt for this round: no shard may hold more
+	// than its fair share of the surviving nodes (plus one boundary node).
+	// Copy: the slice is reused by later rounds' balancedCuts calls.
+	cut := append([]int(nil), svc.eng.liveCut...)
+	if len(cut) != workers+1 {
+		t.Fatalf("live cuts not computed: %v", cut)
 	}
+	fair := (n / 2) / workers
 	for w := 0; w < workers; w++ {
-		for k := 0; k < perWorker; k++ {
-			d, sender := s.Intn(n), s.Intn(n)
-			ws[w].offerChunk[destOwner(n, workers, d)].push(d, sender)
-			d, sender = s.Intn(n), s.Intn(n)
-			ws[w].reqChunk[destOwner(n, workers, d)].push(d, sender)
+		live := 0
+		for i := cut[w]; i < cut[w+1]; i++ {
+			if alive(i) {
+				live++
+			}
+		}
+		if live > fair+1 {
+			t.Fatalf("worker %d shard [%d,%d) holds %d live nodes, fair share is %d",
+				w, cut[w], cut[w+1], live, fair)
 		}
 	}
-	// Reference layout: visit workers in order, replaying each worker's
-	// chunks in owner order preserves per-destination scan order because a
-	// destination maps to exactly one owner.
+	// The static cuts would give workers 0 and 1 zero live nodes; the
+	// rebalanced ones must not.
 	for w := 0; w < workers; w++ {
-		for o := 0; o < workers; o++ {
-			ch := ws[w].offerChunk[o]
-			for k, d := range ch.dest {
-				wantOffers[d] = append(wantOffers[d], ch.sender[k])
+		live := 0
+		for i := cut[w]; i < cut[w+1]; i++ {
+			if alive(i) {
+				live++
 			}
-			ch = ws[w].reqChunk[o]
-			for k, d := range ch.dest {
-				wantReqs[d] = append(wantReqs[d], ch.sender[k])
-			}
+		}
+		if live == 0 {
+			t.Fatalf("worker %d still idle after rebalancing: shard [%d,%d)", w, cut[w], cut[w+1])
 		}
 	}
-	return ws, wantOffers, wantReqs
-}
 
-func TestRadixSortLayout(t *testing.T) {
-	// The exchange + owner counting sort must produce buckets in rendezvous
-	// order, each holding its requests in (worker, scan) order — the exact
-	// layout of the pre-radix per-worker-counts engine — at every worker
-	// count, including workers > n.
-	for _, tc := range []struct{ n, workers, perWorker int }{
-		{1, 1, 3}, {17, 2, 10}, {100, 3, 40}, {1000, 8, 200}, {1000, 16, 50}, {5, 9, 4},
-	} {
-		ws, wantOffers, wantReqs := fillChunks(tc.n, tc.workers, tc.perWorker, 5)
-		offerOff := make([]int32, tc.n+1)
-		reqOff := make([]int32, tc.n+1)
-		offersFlat, reqFlat := radixSort(tc.n, tc.workers, func(w int) *workerScratch { return &ws[w] },
-			offerOff, reqOff, nil, nil)
-		for v := 0; v < tc.n; v++ {
-			gotO := offersFlat[offerOff[v]:offerOff[v+1]]
-			gotR := reqFlat[reqOff[v]:reqOff[v+1]]
-			if len(gotO) != len(wantOffers[v]) || (len(gotO) > 0 && !reflect.DeepEqual(gotO, wantOffers[v])) {
-				t.Fatalf("n=%d workers=%d: offers bucket %d = %v, want %v", tc.n, tc.workers, v, gotO, wantOffers[v])
-			}
-			if len(gotR) != len(wantReqs[v]) || (len(gotR) > 0 && !reflect.DeepEqual(gotR, wantReqs[v])) {
-				t.Fatalf("n=%d workers=%d: requests bucket %d = %v, want %v", tc.n, tc.workers, v, gotR, wantReqs[v])
-			}
-		}
-		if int(offerOff[tc.n]) != len(offersFlat) || int(reqOff[tc.n]) != len(reqFlat) {
-			t.Fatalf("n=%d workers=%d: totals do not close the offset tables", tc.n, tc.workers)
-		}
+	// Rebalancing moves work, never bits.
+	ref, err := svc.RunRoundSeededFiltered(31, 1, alive)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-// BenchmarkRadixSort times the exchange + owner counting sort at engine
-// scale (the pass that replaced the O(workers·n) offset scan and fill).
-// The chunks are rebuilt outside the timed sections.
-func BenchmarkRadixSort(b *testing.B) {
-	const n, workers, perWorker = 1_000_000, 8, 250_000
-	ws, _, _ := fillChunks(n, workers, perWorker, 11)
-	offerOff := make([]int32, n+1)
-	reqOff := make([]int32, n+1)
-	var offersFlat, reqFlat []int32
-	scratch := func(w int) *workerScratch { return &ws[w] }
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		offersFlat, reqFlat = radixSort(n, workers, scratch, offerOff, reqOff, offersFlat, reqFlat)
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("churn-rebalanced round diverged from the serial round")
 	}
 }
 

@@ -18,15 +18,13 @@ import (
 // bandwidth but keeps the protocol simple and churn-tolerant, and the
 // O(log n) bound holds regardless (Theorem 4).
 //
-// When b is non-nil each round runs on the seeded engine with the caller's
-// worker plus whatever spare tokens the shared budget has that round; when
-// workers >= 1 it runs on the seeded engine with that fixed worker count.
-// Either way the per-round seed is one draw off the run stream and the
-// seeded path is worker-count independent, so the spreading run is
-// bit-identical for every budget size and every workers value: both are
-// pure speed knobs. b == nil with workers == 0 keeps the legacy serial
-// path driven directly by the run stream.
-func datingStep(svc *core.Service, workers int, b *par.Budget) stepFunc {
+// Every round runs on the seeded engine: the per-round seed is one draw
+// off the run stream, and the seeded path derives its randomness per node
+// and per rendezvous, so the spreading run is bit-identical for every
+// budget size — the worker count is a pure speed knob. When b is non-nil
+// the round grabs the caller's worker plus whatever spare tokens the
+// shared budget has that round; a nil budget runs serially.
+func datingStep(svc *core.Service, b *par.Budget) stepFunc {
 	return func(st *state, s *rng.Stream) {
 		var alive func(i int) bool
 		if anyDead(st.alive) {
@@ -34,34 +32,36 @@ func datingStep(svc *core.Service, workers int, b *par.Budget) stepFunc {
 			// closure is safe for the engine's concurrent workers.
 			alive = func(i int) bool { return st.alive[i] }
 		}
+		// One draw per round whatever the worker count, so the run stream
+		// evolves identically for every budget size.
+		seed := s.Uint64()
 		var res core.RoundResult
-		if b != nil || workers >= 1 {
-			// One draw per round whatever the worker count, so the run
-			// stream evolves identically for every workers value.
-			seed := s.Uint64()
-			var err error
-			if b != nil {
-				res, err = svc.RunRoundSharedFiltered(seed, b, alive)
-			} else {
-				res, err = svc.RunRoundSeededFiltered(seed, workers, alive)
-			}
-			if err != nil {
-				// Run validated the worker configuration; a failure here is
-				// a programming error, not a runtime condition.
-				panic(fmt.Sprintf("gossip: seeded dating round failed: %v", err))
-			}
+		var err error
+		if b != nil {
+			res, err = svc.RunRoundSharedFiltered(seed, b, alive)
 		} else {
-			res = svc.RunRoundFiltered(s, alive)
+			res, err = svc.RunRoundSeededFiltered(seed, 1, alive)
 		}
-		for _, d := range res.Dates {
-			// Every date consumes bandwidth on both sides whether or not it
-			// carries the rumor; loads therefore count all dates, which by
-			// construction remain within the profile.
-			st.out[d.Sender]++
-			st.in[d.Receiver]++
-			if st.informed[d.Sender] {
-				st.next[d.Receiver] = true
-			}
+		if err != nil {
+			// Run validated the configuration; a failure here is a
+			// programming error, not a runtime condition.
+			panic(fmt.Sprintf("gossip: seeded dating round failed: %v", err))
+		}
+		applyDates(st, res.Dates)
+	}
+}
+
+// applyDates folds one round's dates into the spreading state: every date
+// consumes bandwidth on both sides whether or not it carries the rumor
+// (loads therefore count all dates, which by construction remain within
+// the profile), and the rumor crosses a date iff the sender was informed
+// at the start of the round.
+func applyDates(st *state, dates []core.Date) {
+	for _, d := range dates {
+		st.out[d.Sender]++
+		st.in[d.Receiver]++
+		if st.informed[d.Sender] {
+			st.next[d.Receiver] = true
 		}
 	}
 }

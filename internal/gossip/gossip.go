@@ -83,15 +83,6 @@ type Config struct {
 	// CrashProb, if positive, crashes each live non-source node with this
 	// probability at the start of every round (experiment E9).
 	CrashProb float64
-	// Workers, if at least 1, runs every dating round on the seeded engine
-	// (core.Service.RunRoundSeeded) with that many workers. Randomness is
-	// derived per node and per rendezvous from a per-round seed drawn off
-	// the run stream, so the whole run is bit-identical for every
-	// Workers >= 1: parallelism is a pure speed knob (costing about six
-	// extra SplitMix64 steps per node per round — see doc.go for the
-	// measured overhead). 0 keeps the legacy serial path driven directly
-	// by the run stream. Baselines ignore it.
-	Workers int
 	// OnRound, if non-nil, observes the informed set after each round; the
 	// slice must not be retained or modified.
 	OnRound func(round int, informed []bool)
@@ -144,18 +135,25 @@ func (st *state) reset() {
 // st.next, and accounts loads in st.out / st.in.
 type stepFunc func(st *state, s *rng.Stream)
 
-// Run executes one spreading run and returns its result.
+// Run executes one spreading run and returns its result. Every dating
+// round runs on the seeded engine: randomness derives per node and per
+// rendezvous from a per-round seed drawn off s, so the run stream advances
+// by exactly one value per dating round regardless of how the round is
+// parallelized.
 func Run(cfg Config, s *rng.Stream) (Result, error) {
-	return runBudgeted(cfg, s, nil)
+	return runBudgeted(cfg, s, nil, 0)
 }
 
-// runBudgeted is Run with an optional shared worker budget. When b is
-// non-nil every dating round runs on the seeded engine with the caller's
-// worker plus whatever spare tokens the pool has that round (overriding
-// cfg.Workers); the seeded path is worker-count independent, so the
-// fluctuating counts are a pure speed knob and the result equals the
-// cfg.Workers >= 1 path bit for bit.
-func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
+// runBudgeted is Run with an optional shared worker budget and pipelining
+// depth. When b is non-nil every dating round runs with the caller's worker
+// plus whatever spare tokens the pool has that round; the seeded path is
+// worker-count independent, so the fluctuating counts are a pure speed
+// knob. pipeline > 1 batches that many dating rounds through the
+// double-buffered engine (core.RunRoundsSeeded) when the algorithm allows
+// it — Dating without crashes; crashing runs need round r's deaths before
+// round r+1's scatter, exactly the barrier pipelining removes — and is
+// bit-identical to the sequential schedule either way.
+func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int) (Result, error) {
 	n := cfg.n()
 	if n <= 0 {
 		return Result{}, fmt.Errorf("gossip: config needs N or a Profile")
@@ -168,10 +166,6 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 			return Result{}, fmt.Errorf("gossip: crash probability %v out of [0,1)", cfg.CrashProb)
 		}
 	}
-	if cfg.Workers < 0 {
-		return Result{}, fmt.Errorf("gossip: workers %d must be non-negative", cfg.Workers)
-	}
-
 	profile := cfg.Profile
 	if profile.N() == 0 {
 		profile = bandwidth.Homogeneous(n, 1)
@@ -204,7 +198,7 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		step = datingStep(svc, cfg.Workers, b)
+		step = datingStep(svc, b)
 	default:
 		return Result{}, fmt.Errorf("gossip: unknown algorithm %v", cfg.Algorithm)
 	}
@@ -230,6 +224,10 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 		st.alive[i] = true
 	}
 
+	if svc != nil && pipeline > 1 && cfg.CrashProb == 0 {
+		return runDatingPipelined(cfg, svc, s, b, pipeline, maxRounds, st)
+	}
+
 	var res Result
 	for round := 1; round <= maxRounds; round++ {
 		if cfg.CrashProb > 0 {
@@ -243,31 +241,85 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 		st.reset()
 		step(st, s)
 		st.informed, st.next = st.next, st.informed
-
-		count, it, done := tally(st)
-		res.Rounds = round
-		res.History = append(res.History, count)
-		res.ItHistory = append(res.ItHistory, it)
-		sent := 0
-		for i := 0; i < n; i++ {
-			sent += st.out[i]
-			if st.out[i] > res.MaxOutLoad {
-				res.MaxOutLoad = st.out[i]
-			}
-			if st.in[i] > res.MaxInLoad {
-				res.MaxInLoad = st.in[i]
-			}
-		}
-		res.SentHistory = append(res.SentHistory, sent)
-		if cfg.OnRound != nil {
-			cfg.OnRound(round, st.informed)
-		}
-		if done {
+		if roundEpilogue(&cfg, st, &res, round) {
 			res.Completed = true
 			break
 		}
 	}
 	return res, nil
+}
+
+// runDatingPipelined is the Dating round loop on the pipelined engine: the
+// per-round seeds of a batch are drawn off the run stream up front — the
+// same values, in the same order, as the sequential loop's one draw per
+// round — and the batch runs through core.RunRoundsSeeded, which overlaps
+// round r+1's scatter with round r's matching. Completion mid-batch simply
+// discards the remaining results; nothing after the loop reads the stream,
+// so the histories are bit-identical to the sequential schedule.
+func runDatingPipelined(cfg Config, svc *core.Service, s *rng.Stream, b *par.Budget, depth, maxRounds int, st *state) (Result, error) {
+	var res Result
+	seeds := make([]uint64, 0, depth)
+	round := 1
+	for round <= maxRounds {
+		k := depth
+		if rem := maxRounds - round + 1; k > rem {
+			k = rem
+		}
+		seeds = seeds[:0]
+		for j := 0; j < k; j++ {
+			seeds = append(seeds, s.Uint64())
+		}
+		var batch []core.RoundResult
+		runBatch := func(workers int) {
+			var err error
+			batch, err = svc.RunRoundsSeeded(seeds, workers)
+			if err != nil {
+				panic(fmt.Sprintf("gossip: pipelined dating rounds failed: %v", err))
+			}
+		}
+		if b != nil {
+			b.Use(0, runBatch)
+		} else {
+			runBatch(1)
+		}
+		for _, rr := range batch {
+			st.reset()
+			applyDates(st, rr.Dates)
+			st.informed, st.next = st.next, st.informed
+			if roundEpilogue(&cfg, st, &res, round) {
+				res.Completed = true
+				return res, nil
+			}
+			round++
+		}
+	}
+	return res, nil
+}
+
+// roundEpilogue folds one completed round into the result — informed and
+// I_t histories, per-node load maxima, the OnRound hook — and reports
+// whether every live node is informed. Shared by the sequential and the
+// pipelined loops so both account rounds identically.
+func roundEpilogue(cfg *Config, st *state, res *Result, round int) bool {
+	count, it, done := tally(st)
+	res.Rounds = round
+	res.History = append(res.History, count)
+	res.ItHistory = append(res.ItHistory, it)
+	sent := 0
+	for i := range st.out {
+		sent += st.out[i]
+		if st.out[i] > res.MaxOutLoad {
+			res.MaxOutLoad = st.out[i]
+		}
+		if st.in[i] > res.MaxInLoad {
+			res.MaxInLoad = st.in[i]
+		}
+	}
+	res.SentHistory = append(res.SentHistory, sent)
+	if cfg.OnRound != nil {
+		cfg.OnRound(round, st.informed)
+	}
+	return done
 }
 
 // tally counts informed nodes, the informed outgoing bandwidth I_t, and

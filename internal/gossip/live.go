@@ -35,16 +35,24 @@ type LiveConfig struct {
 	Source   int
 	// MaxDatingRounds caps the run (0 = generous log-based default).
 	MaxDatingRounds int
-	Seed            uint64
-	// Concurrent selects the goroutine engine (true) or its sequential twin
-	// (false); both produce identical results for the same seed. Ignored by
-	// the sharded engine, which always runs its shard workers.
-	Concurrent bool
+}
+
+// LiveOptions carries the axes of a live run that are orthogonal to the
+// protocol: the seed, the execution substrate, its worker count, the
+// network model and the pipelining depth. Under repro.Run these come from
+// the run options; RunLive takes them explicitly so direct callers state
+// the same separation.
+type LiveOptions struct {
+	Seed uint64
 	// Engine picks the substrate; the zero value is the goroutine engine.
-	// (All engines now share the sharded runtime's per-peer stream
-	// derivation, so goroutine-engine trajectories differ from releases
-	// that seeded peers with rng.NewStreams — and match LiveSharded's.)
+	// (All engines share the sharded runtime's per-peer stream derivation,
+	// so the engine choice never changes trajectories.)
 	Engine LiveEngine
+	// Concurrent selects the goroutine engine's concurrent mode (true) or
+	// its sequential twin (false); both produce identical results for the
+	// same seed. Ignored by the sharded engine, which always runs its
+	// shard workers.
+	Concurrent bool
 	// Shards is the sharded engine's worker count (0 = GOMAXPROCS). The
 	// run's results are bit-identical for every value: shards are a pure
 	// speed knob.
@@ -53,6 +61,11 @@ type LiveConfig struct {
 	// engine; nil is the paper's perfect-sync model. The goroutine engine
 	// rejects non-nil models.
 	Net live.NetModel
+	// Pipeline > 1 runs the sharded engine's fused round loop
+	// (live.Runtime.RunPipelined), which folds the delivery sort of each
+	// network round into the step phase. Bit-identical to the sequential
+	// schedule; ignored by the goroutine engine.
+	Pipeline int
 }
 
 // LiveResult reports a message-level spreading run.
@@ -87,7 +100,7 @@ type livePeerState struct {
 
 // RunLive executes rumor spreading with the dating-service handshake on a
 // live message engine.
-func RunLive(cfg LiveConfig) (LiveResult, error) {
+func RunLive(cfg LiveConfig, o LiveOptions) (LiveResult, error) {
 	n := cfg.Profile.N()
 	if n == 0 {
 		return LiveResult{}, fmt.Errorf("gossip: live run needs a profile")
@@ -98,7 +111,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	if cfg.Source < 0 || cfg.Source >= n {
 		return LiveResult{}, fmt.Errorf("gossip: source %d out of range [0,%d)", cfg.Source, n)
 	}
-	if cfg.Engine == LiveGoroutine && cfg.Net != nil {
+	if o.Engine == LiveGoroutine && o.Net != nil {
 		return LiveResult{}, fmt.Errorf("gossip: network models require the sharded engine")
 	}
 	sel := cfg.Selector
@@ -124,7 +137,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		informed:   make([]bool, n),
 		inPayloads: make([]int, n),
 	}
-	if cfg.Net != nil && cfg.Net.MaxDelay() > 1 {
+	if o.Net != nil && o.Net.MaxDelay() > 1 {
 		// Latency can deliver offers and demands outside their phase; give
 		// every rendezvous a holding buffer until its next matching round.
 		st.pendOffers = make([][]int32, n)
@@ -134,20 +147,20 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 
 	step := liveEmitStep(cfg.Profile, sel, st)
 	var run func(steps int) simnet.Stats
-	switch cfg.Engine {
+	switch o.Engine {
 	case LiveGoroutine:
 		// Derive the per-peer streams exactly as the sharded runtime does,
 		// so the engine choice never changes results: goroutine, sequential
 		// and sharded runs of one seed are bit-identical under perfect sync.
 		streams := make([]*rng.Stream, n)
 		for i := range streams {
-			streams[i] = rng.New(live.PeerSeed(cfg.Seed, i))
+			streams[i] = rng.New(live.PeerSeed(o.Seed, i))
 		}
 		eng, err := simnet.NewLiveWithStreams(streams, adaptStep(step))
 		if err != nil {
 			return LiveResult{}, err
 		}
-		if cfg.Concurrent {
+		if o.Concurrent {
 			run = eng.Run
 		} else {
 			run = eng.RunSequential
@@ -155,17 +168,21 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	case LiveSharded:
 		rt, err := live.New(live.Config{
 			N:      n,
-			Seed:   cfg.Seed,
+			Seed:   o.Seed,
 			Step:   step,
-			Shards: cfg.Shards,
-			Net:    cfg.Net,
+			Shards: o.Shards,
+			Net:    o.Net,
 		})
 		if err != nil {
 			return LiveResult{}, err
 		}
-		run = rt.Run
+		if o.Pipeline > 1 {
+			run = rt.RunPipelined
+		} else {
+			run = rt.Run
+		}
 	default:
-		return LiveResult{}, fmt.Errorf("gossip: unknown live engine %d", cfg.Engine)
+		return LiveResult{}, fmt.Errorf("gossip: unknown live engine %d", o.Engine)
 	}
 
 	var res LiveResult

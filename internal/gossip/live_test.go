@@ -13,28 +13,27 @@ import (
 )
 
 func TestRunLiveValidation(t *testing.T) {
-	if _, err := RunLive(LiveConfig{}); err == nil {
+	if _, err := RunLive(LiveConfig{}, LiveOptions{}); err == nil {
 		t.Error("accepted empty profile")
 	}
-	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Source: 9}); err == nil {
+	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Source: 9}, LiveOptions{}); err == nil {
 		t.Error("accepted bad source")
 	}
 	sel, _ := core.NewUniformSelector(3)
-	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Selector: sel}); err == nil {
+	if _, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(4, 1), Selector: sel}, LiveOptions{}); err == nil {
 		t.Error("accepted selector size mismatch")
 	}
 	badProfile := bandwidth.Profile{In: []int{0, 1}, Out: []int{1, 1}}
-	if _, err := RunLive(LiveConfig{Profile: badProfile}); err == nil {
+	if _, err := RunLive(LiveConfig{Profile: badProfile}, LiveOptions{}); err == nil {
 		t.Error("accepted zero-bandwidth profile")
 	}
 }
 
 func TestRunLiveCompletes(t *testing.T) {
-	res, err := RunLive(LiveConfig{
-		Profile:    bandwidth.Homogeneous(256, 1),
-		Seed:       1,
-		Concurrent: true,
-	})
+	res, err := RunLive(
+		LiveConfig{Profile: bandwidth.Homogeneous(256, 1)},
+		LiveOptions{Seed: 1, Concurrent: true},
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +51,10 @@ func TestRunLiveConcurrentEqualsSequential(t *testing.T) {
 	// exact same spreading trace for the same seed — the protocol has no
 	// hidden scheduling dependence.
 	mk := func(concurrent bool) LiveResult {
-		res, err := RunLive(LiveConfig{
-			Profile:    bandwidth.Homogeneous(200, 1),
-			Seed:       7,
-			Concurrent: concurrent,
-		})
+		res, err := RunLive(
+			LiveConfig{Profile: bandwidth.Homogeneous(200, 1)},
+			LiveOptions{Seed: 7, Concurrent: concurrent},
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,11 +78,10 @@ func TestRunLiveRespectsBandwidth(t *testing.T) {
 	// The handshake guarantees no node receives more payloads per round
 	// than its incoming bandwidth.
 	for _, b := range []int{1, 3} {
-		res, err := RunLive(LiveConfig{
-			Profile:    bandwidth.Homogeneous(128, b),
-			Seed:       3,
-			Concurrent: true,
-		})
+		res, err := RunLive(
+			LiveConfig{Profile: bandwidth.Homogeneous(128, b)},
+			LiveOptions{Seed: 3, Concurrent: true},
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +95,7 @@ func TestRunLiveRespectsBandwidth(t *testing.T) {
 }
 
 func TestRunLiveHistoryMonotone(t *testing.T) {
-	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(150, 1), Seed: 5, Concurrent: true})
+	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(150, 1)}, LiveOptions{Seed: 5, Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +114,10 @@ func TestRunLiveMatchesFlatSimulatorStatistically(t *testing.T) {
 	var liveSum, flatSum float64
 	const reps = 5
 	for rep := 0; rep < reps; rep++ {
-		lr, err := RunLive(LiveConfig{
-			Profile:    bandwidth.Homogeneous(300, 1),
-			Seed:       uint64(100 + rep),
-			Concurrent: true,
-		})
+		lr, err := RunLive(
+			LiveConfig{Profile: bandwidth.Homogeneous(300, 1)},
+			LiveOptions{Seed: uint64(100 + rep), Concurrent: true},
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +142,7 @@ func TestRunLiveOverheadShape(t *testing.T) {
 	// Per dating round, control traffic is 2 scatter messages per unit of
 	// bandwidth plus one answer per offer; payloads are at most min-side
 	// bandwidth. Verify the traffic mix.
-	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(100, 1), Seed: 9, Concurrent: true})
+	res, err := RunLive(LiveConfig{Profile: bandwidth.Homogeneous(100, 1)}, LiveOptions{Seed: 9, Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,12 +204,10 @@ func TestRunLiveShardedBitIdentity(t *testing.T) {
 	// The sharded engine's headline property, at spread scale: 10k peers,
 	// full handshake protocol, identical results for every shard count.
 	run := func(shards int) LiveResult {
-		res, err := RunLive(LiveConfig{
-			Profile: bandwidth.Homogeneous(10_000, 1),
-			Seed:    17,
-			Engine:  LiveSharded,
-			Shards:  shards,
-		})
+		res, err := RunLive(
+			LiveConfig{Profile: bandwidth.Homogeneous(10_000, 1)},
+			LiveOptions{Seed: 17, Engine: LiveSharded, Shards: shards},
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,21 +229,22 @@ func TestRunLiveEnginesAgree(t *testing.T) {
 	// All three substrates — goroutine-per-peer, its sequential twin, and
 	// the sharded runtime — share per-peer stream derivation and must give
 	// exactly the same spreading trajectory under the perfect-sync model.
-	base := LiveConfig{Profile: bandwidth.Homogeneous(1500, 1), Seed: 23}
-	variants := []LiveConfig{}
+	cfg := LiveConfig{Profile: bandwidth.Homogeneous(1500, 1)}
+	base := LiveOptions{Seed: 23}
+	variants := []LiveOptions{}
 	for _, concurrent := range []bool{false, true} {
-		c := base
-		c.Engine, c.Concurrent = LiveGoroutine, concurrent
-		variants = append(variants, c)
+		o := base
+		o.Engine, o.Concurrent = LiveGoroutine, concurrent
+		variants = append(variants, o)
 	}
 	for _, shards := range []int{1, 4} {
-		c := base
-		c.Engine, c.Shards = LiveSharded, shards
-		variants = append(variants, c)
+		o := base
+		o.Engine, o.Shards = LiveSharded, shards
+		variants = append(variants, o)
 	}
 	var ref LiveResult
-	for i, cfg := range variants {
-		res, err := RunLive(cfg)
+	for i, o := range variants {
+		res, err := RunLive(cfg, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,13 +265,10 @@ func TestRunLiveNetModelSensitivity(t *testing.T) {
 	// Latency and loss must slow spreading down, never speed it up, and the
 	// protocol must still complete under moderate degradation.
 	run := func(net live.NetModel) LiveResult {
-		res, err := RunLive(LiveConfig{
-			Profile: bandwidth.Homogeneous(2000, 1),
-			Seed:    29,
-			Engine:  LiveSharded,
-			Shards:  2,
-			Net:     net,
-		})
+		res, err := RunLive(
+			LiveConfig{Profile: bandwidth.Homogeneous(2000, 1)},
+			LiveOptions{Seed: 29, Engine: LiveSharded, Shards: 2, Net: net},
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,10 +296,10 @@ func TestRunLiveNetModelSensitivity(t *testing.T) {
 }
 
 func TestRunLiveGoroutineRejectsNetModel(t *testing.T) {
-	_, err := RunLive(LiveConfig{
-		Profile: bandwidth.Homogeneous(16, 1),
-		Net:     live.Loss{P: 0.1},
-	})
+	_, err := RunLive(
+		LiveConfig{Profile: bandwidth.Homogeneous(16, 1)},
+		LiveOptions{Net: live.Loss{P: 0.1}},
+	)
 	if err == nil {
 		t.Fatal("goroutine engine accepted a network model")
 	}
@@ -322,12 +314,10 @@ func TestRunLiveShardedOverlap(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := RunLive(LiveConfig{
-				Profile: bandwidth.Homogeneous(800, 1),
-				Seed:    37,
-				Engine:  LiveSharded,
-				Shards:  3,
-			})
+			res, err := RunLive(
+				LiveConfig{Profile: bandwidth.Homogeneous(800, 1)},
+				LiveOptions{Seed: 37, Engine: LiveSharded, Shards: 3},
+			)
 			if err != nil {
 				t.Error(err)
 				return

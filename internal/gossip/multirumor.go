@@ -46,13 +46,6 @@ type MultiRumorConfig struct {
 	Injections []Injection
 	Forwarding Forwarding
 	MaxRounds  int
-	// Workers, if at least 1, runs every dating round on the seeded engine
-	// (core.Service.RunRoundSeeded), exactly as Config.Workers does for
-	// single-rumor runs: randomness derives per node and per rendezvous
-	// from a per-round seed drawn off the run stream, so the run is
-	// bit-identical for every Workers >= 1 — a pure speed knob. 0 keeps
-	// the legacy serial path driven directly by the run stream.
-	Workers int
 }
 
 // MultiRumorResult reports a multi-rumor run.
@@ -71,7 +64,9 @@ func RunMultiRumor(cfg MultiRumorConfig, s *rng.Stream) (MultiRumorResult, error
 }
 
 // runMultiRumorBudgeted is RunMultiRumor with an optional shared worker
-// budget; non-nil b overrides cfg.Workers exactly as in runBudgeted.
+// budget. Every dating round runs on the seeded engine with one seed drawn
+// off the run stream; a non-nil b lets each round soak up spare tokens,
+// and as in runBudgeted the worker count is a pure speed knob.
 func runMultiRumorBudgeted(cfg MultiRumorConfig, s *rng.Stream, b *par.Budget) (MultiRumorResult, error) {
 	n := cfg.N
 	profile := cfg.Profile
@@ -105,10 +100,6 @@ func runMultiRumorBudgeted(cfg MultiRumorConfig, s *rng.Stream, b *par.Budget) (
 	if err != nil {
 		return MultiRumorResult{}, err
 	}
-	if cfg.Workers < 0 {
-		return MultiRumorResult{}, fmt.Errorf("gossip: workers %d must be non-negative", cfg.Workers)
-	}
-
 	nRumors := len(cfg.Injections)
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -149,25 +140,20 @@ func runMultiRumorBudgeted(cfg MultiRumorConfig, s *rng.Stream, b *par.Budget) (
 			}
 		}
 
-		var dates []core.Date
-		if b != nil || cfg.Workers >= 1 {
-			// One draw per round whatever the worker count, so the run
-			// stream evolves identically for every Workers value.
-			seed := s.Uint64()
-			var pres core.RoundResult
-			var err error
-			if b != nil {
-				pres, err = svc.RunRoundShared(seed, b)
-			} else {
-				pres, err = svc.RunRoundSeeded(seed, cfg.Workers)
-			}
-			if err != nil {
-				return MultiRumorResult{}, err
-			}
-			dates = pres.Dates
+		// One draw per round whatever the worker count, so the run stream
+		// evolves identically for every budget size.
+		seed := s.Uint64()
+		var pres core.RoundResult
+		var err error
+		if b != nil {
+			pres, err = svc.RunRoundShared(seed, b)
 		} else {
-			dates = svc.RunRound(s).Dates
+			pres, err = svc.RunRoundSeeded(seed, 1)
 		}
+		if err != nil {
+			return MultiRumorResult{}, err
+		}
+		dates := pres.Dates
 		res.SentHistory = append(res.SentHistory, len(dates))
 		// Synchronous semantics: forwarding decisions use start-of-round
 		// knowledge, so collect transfers first and apply afterwards.

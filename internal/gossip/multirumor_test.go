@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/bandwidth"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -184,14 +185,13 @@ func TestMultiRumorMaxRounds(t *testing.T) {
 	}
 }
 
-func TestMultiRumorWorkers(t *testing.T) {
-	// The parallel engine behind multi-rumor rounds: runs are reproducible
-	// for a fixed (seed, Workers), complete, and reject bad worker counts.
+func TestMultiRumorReproducible(t *testing.T) {
+	// Multi-rumor rounds ride the seeded engine: runs are reproducible for
+	// a fixed seed and complete.
 	cfg := MultiRumorConfig{
 		N:          600,
 		Injections: []Injection{{Round: 1, Source: 0}, {Round: 3, Source: 99}},
 		Forwarding: ForwardRoundRobin,
-		Workers:    3,
 	}
 	run := func() MultiRumorResult {
 		res, err := RunMultiRumor(cfg, rng.New(21))
@@ -199,32 +199,35 @@ func TestMultiRumorWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !res.Completed {
-			t.Fatal("parallel multi-rumor run incomplete")
+			t.Fatal("multi-rumor run incomplete")
 		}
 		return res
 	}
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
-		t.Fatal("two parallel runs with the same (seed, Workers) diverged")
-	}
-	cfg.Workers = -2
-	if _, err := RunMultiRumor(cfg, rng.New(21)); err == nil {
-		t.Error("accepted negative Workers")
+		t.Fatal("two runs with the same seed diverged")
 	}
 }
 
-func TestMultiRumorWorkersPureSpeedKnob(t *testing.T) {
-	// Like single-rumor spreading, multirumor Workers >= 1 rides the seeded
-	// engine: bit-identical for every worker count.
+func TestMultiRumorBudgetPureSpeedKnob(t *testing.T) {
+	// Like single-rumor spreading, multirumor rounds draw their workers
+	// from the shared budget: bit-identical for every budget size.
 	run := func(workers int) MultiRumorResult {
-		res, err := RunMultiRumor(MultiRumorConfig{
+		var b *par.Budget
+		if workers > 1 {
+			var err error
+			b, err = par.NewBudget(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := runMultiRumorBudgeted(MultiRumorConfig{
 			N: 600,
 			Injections: []Injection{
 				{Round: 1, Source: 0},
 				{Round: 4, Source: 17},
 			},
-			Workers: workers,
-		}, rng.New(13))
+		}, rng.New(13), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +239,7 @@ func TestMultiRumorWorkersPureSpeedKnob(t *testing.T) {
 	}
 	for _, workers := range []int{2, 8} {
 		if got := run(workers); !reflect.DeepEqual(got, ref) {
-			t.Fatalf("Workers=%d diverged from Workers=1", workers)
+			t.Fatalf("workers=%d diverged from workers=1", workers)
 		}
 	}
 }

@@ -4,19 +4,35 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
-func TestDatingParallelWorkers(t *testing.T) {
-	// The parallel engine behind the spreader: completes in O(log n)
-	// rounds, never exceeds unit bandwidth, and is reproducible for a
-	// fixed (seed, Workers).
-	run := func() Result {
-		res, err := Run(Config{Algorithm: Dating, N: 2048, Workers: 4}, rng.New(42))
+// runWith executes a spreading run with a worker budget of the given size
+// and a pipelining depth, the two knobs runBudgeted exposes above Run.
+func runWith(t *testing.T, cfg Config, seed uint64, workers, pipeline int) Result {
+	t.Helper()
+	var b *par.Budget
+	if workers > 1 {
+		var err error
+		b, err = par.NewBudget(workers)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res
+	}
+	res, err := runBudgeted(cfg, rng.New(seed), b, pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDatingParallelWorkers(t *testing.T) {
+	// The seeded engine behind the spreader: completes in O(log n) rounds,
+	// never exceeds unit bandwidth, and is reproducible for a fixed seed
+	// whatever the budget size.
+	run := func() Result {
+		return runWith(t, Config{Algorithm: Dating, N: 2048}, 42, 4, 0)
 	}
 	a := run()
 	if !a.Completed {
@@ -29,15 +45,12 @@ func TestDatingParallelWorkers(t *testing.T) {
 		t.Fatalf("parallel dating exceeded unit bandwidth: in %d out %d", a.MaxInLoad, a.MaxOutLoad)
 	}
 	if b := run(); !reflect.DeepEqual(a, b) {
-		t.Fatal("two runs with the same (seed, Workers) diverged")
+		t.Fatal("two runs with the same seed diverged")
 	}
 }
 
 func TestDatingParallelWithChurn(t *testing.T) {
-	res, err := Run(Config{Algorithm: Dating, N: 800, Workers: 3, CrashProb: 0.01}, rng.New(7))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runWith(t, Config{Algorithm: Dating, N: 800, CrashProb: 0.01}, 7, 3, 0)
 	if !res.Completed {
 		t.Fatalf("incomplete after %d rounds (%d crashed)", res.Rounds, res.Crashed)
 	}
@@ -46,24 +59,13 @@ func TestDatingParallelWithChurn(t *testing.T) {
 	}
 }
 
-func TestWorkersValidation(t *testing.T) {
-	if _, err := Run(Config{Algorithm: Dating, N: 10, Workers: -1}, rng.New(1)); err == nil {
-		t.Error("accepted negative Workers")
-	}
-}
-
 func TestDatingWorkersPureSpeedKnob(t *testing.T) {
-	// Workers >= 1 rides the seeded engine: the whole run — rounds,
-	// history, loads — is bit-identical for every worker count, including
-	// under churn (crash sampling shares the run stream with the per-round
-	// seed draws).
+	// The budget size is a pure speed knob: the whole run — rounds, history,
+	// loads — is bit-identical for every worker count, including under churn
+	// (crash sampling shares the run stream with the per-round seed draws).
 	for _, crash := range []float64{0, 0.01} {
 		run := func(workers int) Result {
-			res, err := Run(Config{Algorithm: Dating, N: 3000, Workers: workers, CrashProb: crash}, rng.New(11))
-			if err != nil {
-				t.Fatal(err)
-			}
-			return res
+			return runWith(t, Config{Algorithm: Dating, N: 3000, CrashProb: crash}, 11, workers, 0)
 		}
 		ref := run(1)
 		if !ref.Completed {
@@ -71,9 +73,39 @@ func TestDatingWorkersPureSpeedKnob(t *testing.T) {
 		}
 		for _, workers := range []int{2, 8} {
 			if got := run(workers); !reflect.DeepEqual(got, ref) {
-				t.Fatalf("crash=%v: Workers=%d diverged from Workers=1 (%d vs %d rounds)",
+				t.Fatalf("crash=%v: workers=%d diverged from workers=1 (%d vs %d rounds)",
 					crash, workers, got.Rounds, ref.Rounds)
 			}
 		}
+	}
+}
+
+func TestDatingPipelinedBitIdentity(t *testing.T) {
+	// Pipelining is a pure scheduling change: batching rounds through
+	// core.RunRoundsSeeded must reproduce the sequential run bit for bit at
+	// every depth and every budget size.
+	cfg := Config{Algorithm: Dating, N: 2500}
+	ref := runWith(t, cfg, 13, 1, 0)
+	if !ref.Completed {
+		t.Fatalf("incomplete after %d rounds", ref.Rounds)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, depth := range []int{2, 3, 8} {
+			if got := runWith(t, cfg, 13, workers, depth); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("workers=%d depth=%d diverged from sequential (%d vs %d rounds, history %v vs %v)",
+					workers, depth, got.Rounds, ref.Rounds, got.History, ref.History)
+			}
+		}
+	}
+}
+
+func TestDatingPipelinedCrashFallsBack(t *testing.T) {
+	// Crashing runs cannot be pipelined (round r+1 must not scatter before
+	// round r's deaths are known); the depth must be silently ignored and
+	// the run stay identical to the sequential schedule.
+	cfg := Config{Algorithm: Dating, N: 600, CrashProb: 0.01}
+	ref := runWith(t, cfg, 17, 1, 0)
+	if got := runWith(t, cfg, 17, 1, 4); !reflect.DeepEqual(got, ref) {
+		t.Fatal("pipelining changed a crashing run")
 	}
 }

@@ -2,11 +2,10 @@ package gossip
 
 // This file implements the unified-runner specs (run.Spec) for the three
 // gossip protocols: single-rumor spreading, multi-rumor spreading, and the
-// fully message-level live run. Under repro.Run the orthogonal axes — seed,
-// worker budget, execution substrate, network model — come exclusively from
-// the run options; the config fields that used to carry them (Workers,
-// Seed, Engine, Shards, Net, Concurrent) are ignored, which is what keeps
-// the axes orthogonal to the protocol choice.
+// fully message-level live run. The configs carry only the protocol; the
+// orthogonal axes — seed, worker budget, execution substrate, network
+// model, pipelining depth — come exclusively from the run options, which
+// is what keeps the axes orthogonal to the protocol choice.
 
 import (
 	"repro/internal/run"
@@ -16,13 +15,12 @@ import (
 func (c Config) Protocol() string { return "rumor" }
 
 // Execute implements run.Spec: the run stream derives from the root seed
-// under DomainRumor, and every dating round draws its workers from the
-// shared budget (cfg.Workers is ignored). Trajectory is the informed-node
-// history; Detail the full Result.
+// under DomainRumor, every dating round draws its workers from the shared
+// budget, and WithPipeline batches crash-free dating rounds through the
+// double-buffered engine. Trajectory is the informed-node history; Detail
+// the full Result.
 func (c Config) Execute(o *run.Options) (run.Report, error) {
-	cfg := c
-	cfg.Workers = 0 // the budget drives the engine
-	res, err := runBudgeted(cfg, run.StreamFor(o.Seed, run.DomainRumor), o.Budget)
+	res, err := runBudgeted(c, run.StreamFor(o.Seed, run.DomainRumor), o.Budget, o.Pipeline)
 	if err != nil {
 		return run.Report{}, err
 	}
@@ -42,13 +40,11 @@ func (c Config) Execute(o *run.Options) (run.Report, error) {
 func (c MultiRumorConfig) Protocol() string { return "multirumor" }
 
 // Execute implements run.Spec: the run stream derives from the root seed
-// under DomainMulti and dating rounds draw workers from the shared budget
-// (cfg.Workers is ignored). Trajectory is the cumulative (node, rumor)
-// knowledge count; Detail the full MultiRumorResult.
+// under DomainMulti and dating rounds draw workers from the shared budget.
+// Trajectory is the cumulative (node, rumor) knowledge count; Detail the
+// full MultiRumorResult.
 func (c MultiRumorConfig) Execute(o *run.Options) (run.Report, error) {
-	cfg := c
-	cfg.Workers = 0
-	res, err := runMultiRumorBudgeted(cfg, run.StreamFor(o.Seed, run.DomainMulti), o.Budget)
+	res, err := runMultiRumorBudgeted(c, run.StreamFor(o.Seed, run.DomainMulti), o.Budget)
 	if err != nil {
 		return run.Report{}, err
 	}
@@ -67,25 +63,26 @@ func (c LiveConfig) Protocol() string { return "live" }
 
 // Execute implements run.Spec: the runtime seed derives from the root seed
 // under DomainLive, WithEngine picks the substrate (default: the sharded
-// runtime), WithWorkers sets the shard count and WithNet the network model.
-// The config's own Seed/Engine/Shards/Net/Concurrent fields are ignored —
-// those axes belong to the options. Under the perfect-sync model every
-// engine and every worker count yields the identical report. Trajectory is
-// the informed-peer history; Detail the full LiveResult.
+// runtime), WithWorkers sets the shard count, WithNet the network model
+// and WithPipeline the fused round loop. Under the perfect-sync model
+// every engine, every worker count and every pipelining depth yields the
+// identical report. Trajectory is the informed-peer history; Detail the
+// full LiveResult.
 func (c LiveConfig) Execute(o *run.Options) (run.Report, error) {
-	cfg := c
-	cfg.Seed = run.SeedFor(o.Seed, run.DomainLive)
-	cfg.Net = o.Net
+	lo := LiveOptions{
+		Seed:     run.SeedFor(o.Seed, run.DomainLive),
+		Net:      o.Net,
+		Pipeline: o.Pipeline,
+	}
 	switch o.Engine {
 	case run.EngineGoroutine:
-		cfg.Engine = LiveGoroutine
-		cfg.Concurrent = true
-		cfg.Shards = 0
+		lo.Engine = LiveGoroutine
+		lo.Concurrent = true
 	default: // EngineDefault, EngineSharded
-		cfg.Engine = LiveSharded
-		cfg.Shards = o.Workers
+		lo.Engine = LiveSharded
+		lo.Shards = o.Workers
 	}
-	res, err := RunLive(cfg)
+	res, err := RunLive(c, lo)
 	if err != nil {
 		return run.Report{}, err
 	}

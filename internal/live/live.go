@@ -10,28 +10,37 @@
 // round proceeds in three phases:
 //
 //	deliver  the messages due this round are counting-sorted by destination
-//	         into one flat buffer with the core engine's radix-partitioned
-//	         scatter: each shard splits its contiguous chunk of the slot by
-//	         destination owner into per-owner index chunks, a tiny serial
-//	         prefix over owner totals assigns base offsets, and each owner
-//	         counting-sorts its own peer range (count array covering only
-//	         that range) with a stable fill — so peer i's inbox is the
+//	         into one flat buffer on the owner-range exchange kernel of
+//	         internal/exch: each shard splits its contiguous chunk of the
+//	         slot into per-owner (destination, index) chunks, exch.Prefix
+//	         assigns base offsets with a tiny serial pass over owner totals,
+//	         and each owner exch.Fill-sorts its own peer range (count array
+//	         covering only that range, stable) — so peer i's inbox is the
 //	         contiguous slice flat[off[i]:off[i+1]], and delivery scratch is
 //	         O(n + messages) instead of one length-n count array per shard;
 //	step     each shard worker walks its peer range in order, invoking the
 //	         StepFunc with the peer's inbox and private stream; emitted
-//	         messages are planned by the NetModel and recorded in
-//	         shard-local per-delay buffers;
-//	route    per-(shard, delay) buffer lengths are known after the step
-//	         phase, so a small prefix sum assigns each shard a disjoint
-//	         range of every due delivery-ring slot and the shards copy
-//	         their buffers in parallel (same shard-order concatenation as
-//	         the old serial append pass); traffic counters are merged.
+//	         messages are planned by the NetModel and recorded in the
+//	         per-(shard, delay) chunks of a second, concat-form exchange;
+//	route    per-(shard, delay) chunk lengths are known after the step
+//	         phase, so exch.SetBase assigns each shard a disjoint range of
+//	         every due delivery-ring slot and the shards exch.Flush their
+//	         chunks in parallel (same shard-order concatenation as the old
+//	         serial append pass); traffic counters are merged.
+//
+// RunPipelined removes one of the three barriers: because each owner's
+// destination range is exactly its own peer range, owner o can step its
+// peers the moment its Fill returns, without waiting for the other owners'
+// sorts — deliver's fill and the step phase fuse into one fanout (Fill
+// returns the owner's end offset precisely so the last peer's inbox can be
+// bounded without reading the offset a neighbouring owner is still
+// writing). Emission already overlaps stepping by construction, so a
+// pipelined round runs record → fill+step → route flush.
 //
 // # Determinism
 //
 // A run is a pure function of (n, seed, step, net model) — the shard count
-// is invisible. Three properties make that hold:
+// and the pipelined flag are invisible. Three properties make that hold:
 //
 //   - Peer randomness: peer i draws from a stream seeded
 //     rng.Derive(seed, peerDomain, i), stored as a flat xoshiro state array;
@@ -41,20 +50,22 @@
 //     sender's first emission of the round; decisions depend on the message
 //     sequence, never the worker.
 //   - Message order: shards own contiguous ascending peer ranges and walk
-//     them in order, so concatenating shard buffers in shard order yields
+//     them in order, so concatenating shard chunks in shard order yields
 //     global sender order; the delivery sort is stable, so every inbox is
 //     in canonical (send round, sender, emission index) order — the exact
 //     order the goroutine-per-peer simnet.Live engine produces.
 //
 // The runtime is therefore bit-identical to a sequential run for any shard
 // count, and — under the Sync model, with identical per-peer streams — to
-// simnet.Live itself. The test suite pins both properties.
+// simnet.Live itself. The test suite pins both properties, and pins
+// RunPipelined against Run.
 package live
 
 import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/exch"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/simnet"
@@ -122,29 +133,14 @@ func (c *cursorSource) Uint64() uint64   { return c.states[c.node].Uint64() }
 func (c *cursorSource) Seed(seed uint64) { c.states[c.node].Seed(seed) }
 
 // shard is one worker's private state. Shards only ever touch their own
-// fields plus disjoint regions of the runtime's flat arrays.
+// fields plus disjoint regions of the runtime's flat arrays and their own
+// rows/ranges of the two exchanges.
 type shard struct {
+	w         int
 	src       cursorSource
 	stream    *rng.Stream
 	netGen    rng.Xoshiro256
 	netStream *rng.Stream
-
-	// byDelay[d] holds this round's emissions in flight for d rounds, in
-	// emission order; index 0 is unused.
-	byDelay [][]simnet.Message
-	// idx[o] holds the indices (into the slot buffer being delivered) of
-	// this shard's chunk messages destined for owner o's peer range — the
-	// radix exchange of the delivery sort.
-	idx [][]int32
-	// counts is the owner-side scratch of the delivery sort, covering only
-	// this shard's own peer range [cut[w], cut[w+1]).
-	counts []int32
-	// blockTot carries this owner's message total (then base offset)
-	// through the delivery sort's serial prefix.
-	blockTot int32
-	// routeOff[d] is this shard's write offset into ring slot (round + d)
-	// during the parallel route pass.
-	routeOff []int
 
 	sender    int
 	netSeeded bool
@@ -169,16 +165,26 @@ type Runtime struct {
 	round    int
 
 	states []rng.Xoshiro256
-	cut    []int
+	part   exch.Partition // peer/destination ranges, one per shard
 	sh     []shard
+
+	// inbox is the delivery exchange: per-(shard, owner) chunks of
+	// (destination, slot index) records, Fill-sorted by each owner.
+	inbox exch.Exchange[int32]
+	// outbox is the route exchange: per-(shard, delay) concat chunks of
+	// emitted messages, flushed into the ring with SetBase/Flush.
+	outbox exch.Exchange[simnet.Message]
 
 	// slots is the delivery ring: messages due at round r sit in
 	// slots[r % (maxDelay+1)], in canonical (send round, sender) order.
 	slots [][]simnet.Message
 	// sorted/inOff are the delivered view: peer i's inbox this round is
-	// sorted[inOff[i]:inOff[i+1]].
-	sorted []simnet.Message
-	inOff  []int32
+	// sorted[inOff[i]:inOff[i+1]]. sortedIdx is the Fill output feeding the
+	// gather (slot indices, 4 bytes each, instead of 40-byte messages in
+	// the exchange chunks).
+	sorted    []simnet.Message
+	sortedIdx []int32
+	inOff     []int32
 
 	stats simnet.Stats
 }
@@ -219,27 +225,25 @@ func New(cfg Config) (*Runtime, error) {
 		maxDelay: net.MaxDelay(),
 		seed:     cfg.Seed,
 		states:   make([]rng.Xoshiro256, cfg.N),
-		cut:      make([]int, shards+1),
+		part:     exch.Partition{N: cfg.N, Parts: shards},
 		sh:       make([]shard, shards),
 		slots:    make([][]simnet.Message, net.MaxDelay()+1),
 		inOff:    make([]int32, cfg.N+1),
 	}
-	for w := 0; w <= shards; w++ {
-		rt.cut[w] = cfg.N * w / shards
-	}
+	rt.inbox.Reset(shards, rt.part)
+	ring := rt.maxDelay + 1
+	rt.outbox.Reset(shards, exch.Partition{N: ring, Parts: ring})
 	for w := range rt.sh {
 		sh := &rt.sh[w]
+		sh.w = w
 		sh.src.states = rt.states
 		sh.stream = rng.NewWithSource(&sh.src)
 		sh.netStream = rng.NewWithSource(&sh.netGen)
-		sh.byDelay = make([][]simnet.Message, rt.maxDelay+1)
-		sh.idx = make([][]int32, shards)
-		sh.counts = make([]int32, rt.cut[w+1]-rt.cut[w])
-		sh.routeOff = make([]int, rt.maxDelay+1)
 		sh.emit = rt.makeEmit(sh)
 	}
 	rt.fanOut(func(w int) {
-		for i := rt.cut[w]; i < rt.cut[w+1]; i++ {
+		lo, hi := rt.part.Range(w)
+		for i := lo; i < hi; i++ {
 			rt.states[i].Seed(PeerSeed(cfg.Seed, i))
 		}
 	})
@@ -260,8 +264,9 @@ func (rt *Runtime) Stats() simnet.Stats { return rt.stats }
 
 // makeEmit builds shard sh's emission callback: stamp the sender, let the
 // net model plan the flight time, and record the message in the matching
-// per-delay buffer. Messages to out-of-range peers and messages the model
-// drops are both counted as Dropped, matching the simnet engines.
+// per-(shard, delay) chunk of the route exchange. Messages to out-of-range
+// peers and messages the model drops are both counted as Dropped, matching
+// the simnet engines.
 func (rt *Runtime) makeEmit(sh *shard) func(simnet.Message) {
 	return func(m simnet.Message) {
 		m.From = sh.sender
@@ -287,7 +292,7 @@ func (rt *Runtime) makeEmit(sh *shard) func(simnet.Message) {
 		}
 		sh.sent++
 		sh.byKind[m.Kind]++
-		sh.byDelay[d] = append(sh.byDelay[d], m)
+		rt.outbox.RecordTo(sh.w, d, m)
 	}
 }
 
@@ -311,22 +316,54 @@ func (rt *Runtime) Run(rounds int) simnet.Stats {
 	return rt.stats
 }
 
+// RunPipelined is Run with the deliver sort and the step phase fused: each
+// owner steps its peers the moment its own range is sorted, instead of
+// waiting at a global barrier for every owner's sort — one fanout fewer
+// per round (see the package comment). Results are bit-for-bit identical
+// to Run; only the schedule changes. Run and RunPipelined may be freely
+// interleaved on one Runtime.
+func (rt *Runtime) RunPipelined(rounds int) simnet.Stats {
+	for r := 0; r < rounds; r++ {
+		if !rt.deliverRecord() {
+			// Empty round: nothing to sort, step from the zeroed offsets.
+			rt.stepAll()
+		} else {
+			rt.fanOut(func(o int) {
+				end := rt.fillOwner(o)
+				sh := &rt.sh[o]
+				lo, hi := rt.part.Range(o)
+				for i := lo; i < hi; i++ {
+					stop := end
+					if i+1 < hi {
+						stop = rt.inOff[i+1]
+					}
+					sh.sender = i
+					sh.netSeeded = false
+					sh.src.node = i
+					rt.step(i, rt.round, rt.sorted[rt.inOff[i]:stop], sh.stream, sh.emit)
+				}
+			})
+			rt.deliverEpilogue()
+		}
+		rt.route()
+		rt.round++
+		rt.stats.Rounds++
+	}
+	return rt.stats
+}
+
 // Inbox returns the messages delivered to peer i in the round Run executed
 // last, for post-run inspection. Valid until the next Run call.
 func (rt *Runtime) Inbox(i int) []simnet.Message {
 	return rt.sorted[rt.inOff[i]:rt.inOff[i+1]]
 }
 
-// owner returns the shard whose peer range holds destination d (rt.cut is
-// the uniform partition cut[w] = n·w/shards).
-func (rt *Runtime) owner(d int) int { return ((d+1)*rt.shards - 1) / rt.n }
-
-// deliver counting-sorts the slot due this round by destination with the
-// core engine's radix-partitioned scatter: shards exchange per-owner index
-// chunks, then each owner counting-sorts its own peer range. Delivery
-// scratch is O(n + messages) — the owners' count arrays partition [0, n)
-// instead of every shard holding a length-n array.
-func (rt *Runtime) deliver() {
+// deliverRecord runs the record half of the delivery sort: shard w splits
+// its contiguous chunk of the due slot into per-owner (destination, index)
+// chunks, and the serial Prefix assigns owner base offsets. It reports
+// whether there is anything to sort; an empty slot zeroes the delivered
+// view so inboxes read empty.
+func (rt *Runtime) deliverRecord() bool {
 	slot := rt.round % (rt.maxDelay + 1)
 	buf := rt.slots[slot]
 	if len(buf) == 0 {
@@ -334,78 +371,60 @@ func (rt *Runtime) deliver() {
 		for i := range rt.inOff {
 			rt.inOff[i] = 0
 		}
-		return
+		return false
 	}
 
-	// Exchange: shard w splits its contiguous chunk of buf by destination
-	// owner, recording message indices in chunk (= canonical) order.
-	chunk := func(w int) (int, int) {
-		return len(buf) * w / rt.shards, len(buf) * (w + 1) / rt.shards
-	}
+	bufPart := exch.Partition{N: len(buf), Parts: rt.shards}
 	rt.fanOut(func(w int) {
-		sh := &rt.sh[w]
-		for o := range sh.idx {
-			sh.idx[o] = sh.idx[o][:0]
-		}
-		lo, hi := chunk(w)
+		rt.inbox.ClearWorker(w)
+		lo, hi := bufPart.Range(w)
 		for k := lo; k < hi; k++ {
-			o := rt.owner(buf[k].To)
-			sh.idx[o] = append(sh.idx[o], int32(k))
+			rt.inbox.Record(w, int32(buf[k].To), int32(k))
 		}
 	})
-
-	// Serial prefix over the owners' incoming totals (O(shards²), no
-	// length-n scan), rewriting each owner's total into its base offset.
-	var total int32
-	for o := 0; o < rt.shards; o++ {
-		var tot int32
-		for w := 0; w < rt.shards; w++ {
-			tot += int32(len(rt.sh[w].idx[o]))
-		}
-		rt.sh[o].blockTot, total = total, total+tot
-	}
+	rt.inbox.Prefix()
 
 	if cap(rt.sorted) < len(buf) {
 		rt.sorted = make([]simnet.Message, len(buf))
+		rt.sortedIdx = make([]int32, len(buf))
 	}
 	rt.sorted = rt.sorted[:len(buf)]
+	rt.sortedIdx = rt.sortedIdx[:len(buf)]
+	return true
+}
 
-	// Sort: each owner counts its incoming messages per destination over
-	// its own range, prefixes the counts into inOff and write cursors, and
-	// replays the index chunks in shard order. Within a bucket that order
-	// is ascending buf position — the canonical (send round, sender,
-	// emission index) order, exactly as the pre-radix per-shard-counts sort
-	// produced.
-	rt.fanOut(func(o int) {
-		sh := &rt.sh[o]
-		lo := rt.cut[o]
-		counts := sh.counts
-		for i := range counts {
-			counts[i] = 0
-		}
-		for w := 0; w < rt.shards; w++ {
-			for _, k := range rt.sh[w].idx[o] {
-				counts[buf[k].To-lo]++
-			}
-		}
-		acc := sh.blockTot
-		for v := lo; v < rt.cut[o+1]; v++ {
-			rt.inOff[v] = acc
-			c := counts[v-lo]
-			counts[v-lo] = acc
-			acc += c
-		}
-		for w := 0; w < rt.shards; w++ {
-			for _, k := range rt.sh[w].idx[o] {
-				m := buf[k]
-				rt.sorted[counts[m.To-lo]] = m
-				counts[m.To-lo]++
-			}
-		}
-	})
-	rt.inOff[rt.n] = int32(len(buf))
+// fillOwner sorts owner o's peer range: Fill places the slot indices of
+// o's incoming messages in canonical order and writes the per-peer offsets,
+// then the gather copies the messages themselves. Returns o's end offset.
+// Within a bucket Fill's order is ascending slot position — the canonical
+// (send round, sender, emission index) order, exactly as the pre-kernel
+// per-shard-counts sort produced.
+func (rt *Runtime) fillOwner(o int) int32 {
+	buf := rt.slots[rt.round%(rt.maxDelay+1)]
+	end := rt.inbox.Fill(o, rt.inOff, rt.sortedIdx)
+	for j := rt.inbox.Base(o); j < end; j++ {
+		rt.sorted[j] = buf[rt.sortedIdx[j]]
+	}
+	return end
+}
 
-	rt.slots[slot] = buf[:0]
+// deliverEpilogue closes the offset table and recycles the drained slot.
+func (rt *Runtime) deliverEpilogue() {
+	slot := rt.round % (rt.maxDelay + 1)
+	rt.inOff[rt.n] = int32(len(rt.slots[slot]))
+	rt.slots[slot] = rt.slots[slot][:0]
+}
+
+// deliver counting-sorts the slot due this round by destination on the
+// owner-range exchange: record per-owner chunks, serial prefix, per-owner
+// Fill + gather. Delivery scratch is O(n + messages) — the owners' count
+// arrays partition [0, n) instead of every shard holding a length-n array.
+func (rt *Runtime) deliver() {
+	if !rt.deliverRecord() {
+		return
+	}
+	rt.fanOut(func(o int) { rt.fillOwner(o) })
+	rt.deliverEpilogue()
 }
 
 // stepAll advances every peer one round: shard w walks its peer range in
@@ -413,7 +432,8 @@ func (rt *Runtime) deliver() {
 func (rt *Runtime) stepAll() {
 	rt.fanOut(func(w int) {
 		sh := &rt.sh[w]
-		for i := rt.cut[w]; i < rt.cut[w+1]; i++ {
+		lo, hi := rt.part.Range(w)
+		for i := lo; i < hi; i++ {
 			sh.sender = i
 			sh.netSeeded = false
 			sh.src.node = i
@@ -422,11 +442,11 @@ func (rt *Runtime) stepAll() {
 	})
 }
 
-// route copies the shards' per-delay buffers into the delivery ring's
+// route copies the shards' per-delay chunks into the delivery ring's
 // future slots in parallel and merges the traffic counters. Per-(shard,
-// delay) buffer lengths are known after the step phase, so a serial prefix
-// sum sizes each due slot once and assigns every shard a disjoint range of
-// it; the shards then copy concurrently, replacing the coordinator's old
+// delay) chunk lengths are known after the step phase, so exch.SetBase
+// sizes each due slot once and assigns every shard a disjoint range of it;
+// the shards then Flush concurrently, replacing the coordinator's old
 // serial O(messages) append pass while preserving the exact shard-order
 // concatenation (= global sender order). Slot (round + d) is never the
 // slot delivered this round since 1 <= d <= maxDelay < ring size.
@@ -436,11 +456,7 @@ func (rt *Runtime) route() {
 	for d := 1; d <= rt.maxDelay; d++ {
 		slot := (rt.round + d) % ring
 		base := len(rt.slots[slot])
-		acc := base
-		for w := range rt.sh {
-			rt.sh[w].routeOff[d] = acc
-			acc += len(rt.sh[w].byDelay[d])
-		}
+		acc := rt.outbox.SetBase(d, base)
 		if acc == base {
 			continue
 		}
@@ -449,14 +465,9 @@ func (rt *Runtime) route() {
 	}
 	if work {
 		rt.fanOut(func(w int) {
-			sh := &rt.sh[w]
 			for d := 1; d <= rt.maxDelay; d++ {
-				if len(sh.byDelay[d]) == 0 {
-					continue
-				}
 				slot := (rt.round + d) % ring
-				copy(rt.slots[slot][sh.routeOff[d]:], sh.byDelay[d])
-				sh.byDelay[d] = sh.byDelay[d][:0]
+				rt.outbox.Flush(w, d, rt.slots[slot])
 			}
 		})
 	}

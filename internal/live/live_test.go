@@ -318,9 +318,11 @@ func TestRuntimeAccessors(t *testing.T) {
 }
 
 func TestDeliveryScratchPartitionsPeerRange(t *testing.T) {
-	// The radix delivery sort's memory claim: the owners' count arrays must
-	// partition [0, n) — O(n) in total — rather than every shard holding a
-	// length-n array (the pre-radix O(shards·n) layout).
+	// The delivery sort's memory claim: the owner ranges of the inbox
+	// exchange must partition [0, n) — so the per-owner count scratch
+	// (allocated by exch.Fill to cover exactly its owner's range) totals
+	// O(n), rather than every shard holding a length-n array (the
+	// pre-kernel O(shards·n) layout).
 	st := newChatter(1000, 1)
 	for _, shards := range []int{1, 2, 4, 8} {
 		rt, err := New(Config{N: 1000, Seed: 1, Step: st.step, Shards: shards})
@@ -328,15 +330,15 @@ func TestDeliveryScratchPartitionsPeerRange(t *testing.T) {
 			t.Fatal(err)
 		}
 		total := 0
-		for w := range rt.sh {
-			if got, want := len(rt.sh[w].counts), rt.cut[w+1]-rt.cut[w]; got != want {
-				t.Fatalf("shards=%d: shard %d count array has length %d, want its own range %d",
-					shards, w, got, want)
+		for w := 0; w < rt.shards; w++ {
+			lo, hi := rt.part.Range(w)
+			if lo != total {
+				t.Fatalf("shards=%d: owner %d range starts at %d, want %d", shards, w, lo, total)
 			}
-			total += len(rt.sh[w].counts)
+			total = hi
 		}
 		if total != rt.n {
-			t.Fatalf("shards=%d: count arrays cover %d ids, want exactly n=%d", shards, total, rt.n)
+			t.Fatalf("shards=%d: owner ranges cover %d ids, want exactly n=%d", shards, total, rt.n)
 		}
 	}
 }
@@ -370,4 +372,59 @@ func ExampleRuntime() {
 	stats := rt.Run(6)
 	fmt.Println(stats.Sent, "messages")
 	// Output: 6 messages
+}
+
+func TestRunPipelinedBitIdentity(t *testing.T) {
+	// RunPipelined fuses the delivery sort with the step phase; the fusion
+	// must be a pure scheduling change — bit-identical digests, stats and
+	// last-round inboxes at every shard count, across every model family,
+	// and stable under interleaving with the unfused Run.
+	const n, rounds = 2000, 12
+	models := map[string]NetModel{
+		"sync":  nil,
+		"fixed": FixedLatency{Rounds: 3},
+		"geom":  GeomLatency{P: 0.6, Cap: 5},
+		"loss":  Loss{P: 0.2, Under: GeomLatency{P: 0.5, Cap: 3}},
+		"churn": EpochChurn{Seed: 9, Epoch: 4, DownFrac: 0.3},
+	}
+	for name, net := range models {
+		t.Run(name, func(t *testing.T) {
+			refSt := newChatter(n, 2)
+			ref, err := New(Config{N: n, Seed: 42, Step: refSt.step, Shards: 4, Net: net})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refStats := ref.Run(rounds)
+			for _, shards := range []int{1, 3, 8} {
+				st := newChatter(n, 2)
+				rt, err := New(Config{N: n, Seed: 42, Step: st.step, Shards: shards, Net: net})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Interleave the two schedules to prove they share state
+				// cleanly: unfused prefix, pipelined middle, unfused tail.
+				stats := rt.Run(2)
+				stats = rt.RunPipelined(rounds - 4)
+				stats = rt.Run(2)
+				if st.combined() != refSt.combined() || stats != refStats {
+					t.Fatalf("shards=%d: pipelined run diverged from Run (digest %x vs %x)",
+						shards, st.combined(), refSt.combined())
+				}
+				for i := 0; i < n; i++ {
+					a, b := ref.Inbox(i), rt.Inbox(i)
+					if len(a) != len(b) {
+						t.Fatalf("shards=%d: inbox %d length %d vs %d", shards, i, len(b), len(a))
+					}
+					for k := range a {
+						if a[k] != b[k] {
+							t.Fatalf("shards=%d: inbox %d message %d differs", shards, i, k)
+						}
+					}
+				}
+			}
+			if refStats.Sent == 0 {
+				t.Fatal("no traffic at all")
+			}
+		})
+	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/bandwidth"
@@ -12,13 +13,20 @@ import (
 	"repro/internal/stats"
 )
 
-// EngineRow reports one worker count of the round-engine benchmark.
+// EngineRow reports one configuration of the round-engine benchmark.
 type EngineRow struct {
+	// Mode is the execution schedule: "parallel" (per-worker streams, the
+	// legacy timing baseline), "seeded" (worker-count-independent rounds,
+	// one at a time) or "pipelined" (RunRoundsSeeded: round r+1's scatter
+	// overlapping round r's matching).
+	Mode           string  `json:"mode"`
 	Workers        int     `json:"workers"`
 	SecondsPerRnd  float64 `json:"seconds_per_round"`
 	RequestsPerSec float64 `json:"requests_per_second"` // scattered offers+demands per wall second
 	Fraction       float64 `json:"fraction"`            // arranged dates / m, averaged over rounds
-	Speedup        float64 `json:"speedup_vs_serial"`   // serial seconds / this row's seconds
+	// Speedup compares against the mode's natural baseline: serial seconds
+	// for parallel rows, the same-worker seeded row for pipelined rows.
+	Speedup float64 `json:"speedup_vs_serial"`
 }
 
 // EngineResult is the full round-engine benchmark: one serial baseline row
@@ -37,15 +45,20 @@ type EngineResult struct {
 func (r EngineResult) Table() *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Round engine — n=%d, %d rounds per point (uniform selection, unit bandwidth)", r.N, r.Rounds),
-		"workers", "s/round", "req/s", "fraction", "speedup",
+		"mode", "workers", "s/round", "req/s", "fraction", "speedup",
 	)
 	for _, row := range r.Rows {
+		speedup := "" // seeded rows are the pipelined baseline: no speedup of their own
+		if row.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.Speedup)
+		}
 		t.AddRow(
+			row.Mode,
 			fmt.Sprint(row.Workers),
 			fmt.Sprintf("%.4f", row.SecondsPerRnd),
 			fmt.Sprintf("%.3g", row.RequestsPerSec),
 			fmt.Sprintf("%.4f", row.Fraction),
-			fmt.Sprintf("%.2fx", row.Speedup),
+			speedup,
 		)
 	}
 	return t
@@ -126,6 +139,7 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 		sec := elapsed.Seconds() / float64(rounds)
 
 		row := EngineRow{
+			Mode:           "parallel",
 			Workers:        workers,
 			SecondsPerRnd:  sec,
 			RequestsPerSec: float64(2*n) / sec,
@@ -153,6 +167,115 @@ func RunEngineBench(n, rounds int, workerCounts []int, seed uint64) (EngineResul
 		})
 		p.SampleMem(&memBefore, &memAfter)
 		res.Points = append(res.Points, p)
+	}
+
+	// Pipelined section: the seeded engine one round at a time versus the
+	// same rounds batched through RunRoundsSeeded, per worker count. The two
+	// schedules must produce bit-identical dates — the benchmark doubles as
+	// the golden check — and the pipelined row's speedup column is its
+	// s/round gain over the same-worker seeded row, the delta the perf gate
+	// watches.
+	seedStream := rng.New(seed)
+	roundSeeds := make([]uint64, rounds)
+	for r := range roundSeeds {
+		roundSeeds[r] = seedStream.Uint64()
+	}
+	seenPipelined := map[int]bool{}
+	for _, workers := range counts {
+		if workers < 1 || seenPipelined[workers] {
+			continue
+		}
+		seenPipelined[workers] = true
+		var seqDates [][]core.Date
+		var seededSec float64
+		for _, mode := range []string{"seeded", "pipelined"} {
+			runtime.GC()
+			var memBefore, memAfter runtime.MemStats
+			runtime.ReadMemStats(&memBefore)
+
+			sel, err := core.NewUniformSelector(n)
+			if err != nil {
+				return EngineResult{}, err
+			}
+			svc, err := core.NewService(bandwidth.Homogeneous(n, 1), sel)
+			if err != nil {
+				return EngineResult{}, err
+			}
+			// Warm-up: touch every scratch buffer (including the back pair
+			// in pipelined mode) and validate the safety property.
+			if mode == "seeded" {
+				first, err := svc.RunRoundSeeded(seed, workers)
+				if err != nil {
+					return EngineResult{}, err
+				}
+				if err := core.ValidateCapacities(first, svc.Profile()); err != nil {
+					return EngineResult{}, fmt.Errorf("sim: engine bench seeded workers=%d: %w", workers, err)
+				}
+			} else {
+				if _, err := svc.RunRoundsSeeded(roundSeeds[:1], workers); err != nil {
+					return EngineResult{}, err
+				}
+			}
+
+			dates := 0
+			var batch []core.RoundResult
+			start := time.Now()
+			if mode == "seeded" {
+				for _, rs := range roundSeeds {
+					out, err := svc.RunRoundSeeded(rs, workers)
+					if err != nil {
+						return EngineResult{}, err
+					}
+					dates += len(out.Dates)
+					seqDates = append(seqDates, out.Dates)
+				}
+			} else {
+				batch, err = svc.RunRoundsSeeded(roundSeeds, workers)
+				if err != nil {
+					return EngineResult{}, err
+				}
+				for _, out := range batch {
+					dates += len(out.Dates)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&memAfter)
+
+			if mode == "pipelined" {
+				for r := range batch {
+					if !slices.Equal(batch[r].Dates, seqDates[r]) {
+						return EngineResult{}, fmt.Errorf(
+							"sim: engine bench workers=%d: pipelined round %d diverged from sequential", workers, r)
+					}
+				}
+			}
+
+			sec := elapsed.Seconds() / float64(rounds)
+			row := EngineRow{
+				Mode:           mode,
+				Workers:        workers,
+				SecondsPerRnd:  sec,
+				RequestsPerSec: float64(2*n) / sec,
+				Fraction:       float64(dates) / float64(rounds) / float64(n),
+			}
+			if mode == "seeded" {
+				seededSec = sec
+			} else if seededSec > 0 && sec > 0 {
+				row.Speedup = seededSec / sec
+			}
+			res.Rows = append(res.Rows, row)
+			p := PointFromReport(n, run.Report{
+				Protocol:  "engine-" + mode,
+				Rounds:    rounds,
+				Completed: true,
+				Messages:  int64(2*n) * int64(rounds),
+				Wall:      elapsed,
+				Seed:      seed,
+				Workers:   workers,
+			})
+			p.SampleMem(&memBefore, &memAfter)
+			res.Points = append(res.Points, p)
+		}
 	}
 	return res, nil
 }

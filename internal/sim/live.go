@@ -203,6 +203,13 @@ func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, e
 		specs = append(specs, runSpec{"sharded", sc,
 			[]run.Option{run.WithSeed(seed), run.WithWorkers(sc), run.WithEngine(run.EngineSharded)}})
 	}
+	// The pipelined schedule fuses the delivery sort into the step phase;
+	// its trajectory rides the same Identical check as every other engine,
+	// so the benchmark doubles as the fused-loop golden.
+	pipelinedShards := shardCounts[len(shardCounts)-1]
+	specs = append(specs, runSpec{"sharded-pipelined", pipelinedShards,
+		[]run.Option{run.WithSeed(seed), run.WithWorkers(pipelinedShards),
+			run.WithEngine(run.EngineSharded), run.WithPipeline(4)}})
 	if baseline {
 		specs = append(specs, runSpec{"goroutine", 0,
 			[]run.Option{run.WithSeed(seed), run.WithEngine(run.EngineGoroutine)}})
@@ -233,6 +240,12 @@ func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, e
 		}
 		p := PointFromReport(n, rep)
 		p.SampleMem(&memBefore, &memAfter)
+		if spec.engine == "sharded-pipelined" {
+			// Distinct protocol name so the perf gate tracks the fused loop
+			// as its own trajectory instead of pairing it with the sharded
+			// point at the same (n, workers) key.
+			p.Protocol = "live-pipelined"
+		}
 		row := LiveBenchRow{
 			Engine:       spec.engine,
 			Shards:       spec.shards,

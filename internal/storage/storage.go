@@ -32,11 +32,6 @@ type Config struct {
 	// Selector defaults to uniform; any common distribution works.
 	Selector  core.Selector
 	MaxRounds int
-	// Workers, if greater than 1, arranges every round on that many worker
-	// goroutines. The result is bit-for-bit identical for every worker
-	// count (the Arranger derives its randomness per node and per
-	// rendezvous, not per worker), so this is purely a speed knob.
-	Workers int
 }
 
 // Result reports a replication run.
@@ -70,9 +65,6 @@ func (c *Config) validate() error {
 	if c.RoundCap < 0 {
 		return fmt.Errorf("storage: negative round cap")
 	}
-	if c.Workers < 0 {
-		return fmt.Errorf("storage: negative workers")
-	}
 	return nil
 }
 
@@ -80,13 +72,11 @@ func (c *Config) validate() error {
 func (c Config) Protocol() string { return "storage" }
 
 // Execute implements run.Spec: the run stream derives from the root seed
-// under DomainStorage and every dating round draws its workers from the
-// shared budget (cfg.Workers is ignored). Trajectory is the cumulative
-// placed-replica history; Detail the full Result.
+// under DomainStorage and every round's Arrange draws its workers from the
+// shared budget. Trajectory is the cumulative placed-replica history;
+// Detail the full Result.
 func (c Config) Execute(o *run.Options) (run.Report, error) {
-	cfg := c
-	cfg.Workers = 0 // the budget drives the Arranger
-	res, err := runBudgeted(cfg, run.StreamFor(o.Seed, run.DomainStorage), o.Budget)
+	res, err := runBudgeted(c, run.StreamFor(o.Seed, run.DomainStorage), o.Budget)
 	if err != nil {
 		return run.Report{}, err
 	}
@@ -107,11 +97,10 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 }
 
 // RunShared is Run with a shared worker budget: every round's Arrange runs
-// with the caller's worker plus whatever spare tokens b has at that moment
-// (overriding cfg.Workers). The Arranger is worker-count independent, so
-// budget sharing never changes the result — the experiment harness uses
-// this to let storage repetitions soak up cores its other jobs are done
-// with.
+// with the caller's worker plus whatever spare tokens b has at that moment.
+// The Arranger is worker-count independent, so budget sharing never changes
+// the result — the experiment harness uses this to let storage repetitions
+// soak up cores its other jobs are done with.
 func RunShared(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 	return runBudgeted(cfg, s, b)
 }
@@ -134,10 +123,6 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 	cap := cfg.RoundCap
 	if cap == 0 {
 		cap = 1
-	}
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
 	}
 	arr, err := core.NewArranger(sel)
 	if err != nil {
@@ -179,7 +164,7 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget) (Result, error) {
 		if b != nil {
 			dates, err = arr.ArrangeShared(out, in, s.Uint64(), b)
 		} else {
-			dates, err = arr.Arrange(out, in, s.Uint64(), workers)
+			dates, err = arr.Arrange(out, in, s.Uint64(), 1)
 		}
 		if err != nil {
 			return Result{}, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -185,9 +186,9 @@ func TestWeightedSelectorWorks(t *testing.T) {
 }
 
 func TestWorkersBitIdenticalRuns(t *testing.T) {
-	// The Workers knob is purely a speed knob: for a fixed seed the whole
+	// The worker budget is purely a speed knob: for a fixed seed the whole
 	// run — rounds, history, transfers, occupancy — must be bit-identical
-	// at every worker count.
+	// at every budget size.
 	cfg := Config{N: 60, ObjectsPerNode: 2, Replicas: 3, SlotsPerNode: 10, RoundCap: 2}
 	base, err := Run(cfg, rng.New(77))
 	if err != nil {
@@ -197,17 +198,16 @@ func TestWorkersBitIdenticalRuns(t *testing.T) {
 		t.Fatal("baseline run incomplete")
 	}
 	for _, workers := range []int{1, 2, 8} {
-		cfg.Workers = workers
-		got, err := Run(cfg, rng.New(77))
+		b, err := par.NewBudget(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunShared(cfg, rng.New(77), b)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(got, base) {
 			t.Fatalf("workers=%d: run diverged from serial baseline:\n got %+v\nwant %+v", workers, got, base)
 		}
-	}
-	cfg.Workers = -1
-	if _, err := Run(cfg, rng.New(77)); err == nil {
-		t.Error("accepted negative workers")
 	}
 }

@@ -63,8 +63,9 @@ type (
 	// reusable scratch; its output is independent of its worker count.
 	Arranger = core.Arranger
 
-	// LiveConfig parameterizes fully message-level spreading; its Engine
-	// field picks the goroutine-per-peer engine or the sharded runtime.
+	// LiveConfig parameterizes fully message-level spreading; the engine,
+	// shard count and network model come from the run options (WithEngine,
+	// WithWorkers, WithNet).
 	LiveConfig = gossip.LiveConfig
 
 	// LiveResult reports a message-level spreading run.
@@ -143,7 +144,7 @@ const (
 	Dating       = gossip.Dating
 )
 
-// Message-level execution substrates for SpreadRumorLive.
+// Message-level execution substrates for live runs (WithEngine).
 const (
 	// LiveGoroutine runs one goroutine per peer (the zero value).
 	LiveGoroutine = gossip.LiveGoroutine
@@ -169,14 +170,9 @@ const (
 // per protocol, so protocols sharing a seed draw from disjoint stream
 // families and a report is a pure function of (spec, seed). The worker
 // budget (WithWorkers), the execution substrate (WithEngine, under the
-// perfect-sync network) and shared budgets are pure speed knobs — the
-// seed-compatibility tests pin Run's output bit-for-bit against the legacy
-// entrypoints at several worker counts.
-//
-// Under Run, the config fields that used to carry the orthogonal axes
-// (RumorConfig.Workers, LiveConfig.Seed/Engine/Shards/Net/Concurrent,
-// MultiRumorConfig.Workers, StorageConfig.Workers, MongerConfig.Workers)
-// are ignored; the options are the single source of truth.
+// perfect-sync network), the pipelining depth (WithPipeline) and shared
+// budgets are pure speed knobs — the seed-compatibility tests pin Run's
+// output bit-for-bit across all of them.
 func Run(spec Spec, opts ...RunOption) (Report, error) { return run.Run(spec, opts...) }
 
 // WithSeed sets the run's root seed (default 0); two runs of one spec and
@@ -201,6 +197,14 @@ func WithEngine(e LiveEngine) RunOption {
 // WithNet plugs a network model — latency, loss, churn, ring-distance
 // asymmetry — into a live run; nil is the paper's perfect-sync model.
 func WithNet(m NetModel) RunOption { return run.WithNet(m) }
+
+// WithPipeline sets the round-pipelining depth (default 1, sequential).
+// Protocols with fusable rounds execute batches of up to k rounds with the
+// next round's request scatter overlapping the current round's matching
+// (rumor spreading on the dating service) or with the delivery sort fused
+// into the step phase (the sharded live runtime). Pipelining is a pure
+// scheduling change: every depth produces the same report bit for bit.
+func WithPipeline(k int) RunOption { return run.WithPipeline(k) }
 
 // WithTrace registers a per-round observer: fn is called once per protocol
 // round, in round order, with the 1-based round number and that round's
@@ -258,26 +262,6 @@ func NewDatingService(p Profile, sel Selector) (*DatingService, error) {
 	return core.NewService(p, sel)
 }
 
-// RunParallelRound executes one round of Algorithm 1 on the service's
-// deterministic multi-core engine, deriving the per-worker streams from
-// seed. The result is exactly reproducible for a fixed (seed, workers) and
-// satisfies the same capacity invariants as DatingService.RunRound.
-//
-// For round sequences, derive the streams once and reuse them:
-//
-//	streams := repro.NewStreams(seed, workers)
-//	for r := 0; r < rounds; r++ {
-//		res, err := svc.RunRoundParallel(streams, workers)
-//		...
-//	}
-//
-// Deprecated: prefer DatingService.RunRoundSeeded(seed, workers), whose
-// output does not depend on the worker count, or the unified Run
-// entrypoint for whole protocols. RunParallelRound remains for one release.
-func RunParallelRound(svc *DatingService, seed uint64, workers int) (RoundResult, error) {
-	return svc.RunRoundParallel(rng.NewStreams(seed, workers), workers)
-}
-
 // ArrangeDates runs a single dating round directly from per-node supply and
 // demand vectors (the abstract resource-matching interface of the paper's
 // introduction; zeros are allowed). It is the one-shot form of Arranger;
@@ -298,57 +282,6 @@ func ArrangeDates(out, in []int, sel Selector, s *Stream) ([]Date, error) {
 //		...
 //	}
 func NewArranger(sel Selector) (*Arranger, error) { return core.NewArranger(sel) }
-
-// SpreadRumor runs one rumor-spreading simulation.
-//
-// Deprecated: use Run(cfg, WithSeed(seed)) — the unified runner derives the
-// stream internally and returns the unified Report (the full RumorResult
-// rides in Report.Detail). SpreadRumor remains as a thin wrapper for one
-// release.
-func SpreadRumor(cfg RumorConfig, s *Stream) (RumorResult, error) {
-	return gossip.Run(cfg, s)
-}
-
-// SpreadRumorLive runs rumor spreading as a real message protocol — every
-// offer, answer and payload an actual routed message. cfg.Engine picks the
-// substrate: one goroutine per peer (LiveGoroutine, the default) or the
-// sharded million-peer runtime (LiveSharded), which also accepts a
-// NetModel for latency, loss and churn. Under the perfect-sync model every
-// substrate yields bit-identical results for the same seed.
-//
-// Deprecated: use Run(cfg, WithSeed(seed), WithWorkers(shards),
-// WithEngine(...), WithNet(...)) — the axes buried in LiveConfig (Seed,
-// Engine, Shards, Net, Concurrent) become options there. SpreadRumorLive
-// remains as a thin wrapper for one release.
-func SpreadRumorLive(cfg LiveConfig) (LiveResult, error) {
-	return gossip.RunLive(cfg)
-}
-
-// SpreadMultiRumor spreads several rumors injected over time, each date
-// carrying one unit-size rumor.
-//
-// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
-// for one release.
-func SpreadMultiRumor(cfg MultiRumorConfig, s *Stream) (MultiRumorResult, error) {
-	return gossip.RunMultiRumor(cfg, s)
-}
-
-// Monger broadcasts a multi-block message with network coding over the
-// dating service (Section 5).
-//
-// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
-// for one release.
-func Monger(cfg MongerConfig, s *Stream) (MongerResult, error) {
-	return coding.RunMonger(cfg, s)
-}
-
-// Replicate runs the replicated-storage protocol (Section 5).
-//
-// Deprecated: use Run(cfg, WithSeed(seed)); it remains as a thin wrapper
-// for one release.
-func Replicate(cfg StorageConfig, s *Stream) (StorageResult, error) {
-	return storage.Run(cfg, s)
-}
 
 // NewNetwork creates a round-synchronous message engine with n live nodes.
 func NewNetwork(n int) (*Network, error) { return simnet.NewNetwork(n) }

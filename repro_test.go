@@ -28,14 +28,13 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
-func TestSpreadRumorFacade(t *testing.T) {
-	s := repro.NewStream(1)
-	out, err := repro.SpreadRumor(repro.RumorConfig{N: 256, Algorithm: repro.Dating}, s)
+func TestRumorRunFacade(t *testing.T) {
+	rep, err := repro.Run(repro.RumorConfig{N: 256, Algorithm: repro.Dating}, repro.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Completed {
-		t.Fatalf("incomplete after %d rounds", out.Rounds)
+	if !rep.Completed {
+		t.Fatalf("incomplete after %d rounds", rep.Rounds)
 	}
 }
 
@@ -87,26 +86,24 @@ func TestArrangeDatesFacade(t *testing.T) {
 }
 
 func TestMongerFacade(t *testing.T) {
-	s := repro.NewStream(5)
-	res, err := repro.Monger(repro.MongerConfig{N: 20, Blocks: 4, BlockSize: 8}, s)
+	rep, err := repro.Run(repro.MongerConfig{N: 20, Blocks: 4, BlockSize: 8}, repro.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Completed {
-		t.Fatalf("mongering incomplete after %d rounds", res.Rounds)
+	if !rep.Completed {
+		t.Fatalf("mongering incomplete after %d rounds", rep.Rounds)
 	}
 }
 
 func TestReplicateFacade(t *testing.T) {
-	s := repro.NewStream(6)
-	res, err := repro.Replicate(repro.StorageConfig{
+	rep, err := repro.Run(repro.StorageConfig{
 		N: 20, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4,
-	}, s)
+	}, repro.WithSeed(6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Completed {
-		t.Fatalf("replication incomplete after %d rounds", res.Rounds)
+	if !rep.Completed {
+		t.Fatalf("replication incomplete after %d rounds", rep.Rounds)
 	}
 }
 

@@ -1,28 +1,105 @@
 package repro
 
 // Seed-compatibility golden tests for the unified runner: for every
-// protocol, Run(spec, WithSeed(s)) must be bit-identical to the legacy
-// *Stream-based entrypoint fed the stream Run derives internally
-// (run.StreamFor(s, domain)), and bit-identical across worker budgets —
-// the whole point of the seed-first API is that *no* option other than the
-// seed can move a number. The tests run each protocol at n = 17 (degenerate
-// small networks exercise every edge path) and n = 1000.
+// protocol, Run(spec, WithSeed(s)) is pinned bit-for-bit by an FNV-1a hash
+// over the unified report, and must be bit-identical across worker budgets,
+// pipelining depths and (for live runs) execution substrates — the whole
+// point of the seed-first API is that *no* option other than the seed can
+// move a number. The hashes were captured from the pre-exch-kernel
+// implementation, so they also pin the refactored engine, the Arranger and
+// the live runtime against their historical output. The tests run each
+// protocol at n = 17 (degenerate small networks exercise every edge path)
+// and n = 1000.
 
 import (
+	"hash/fnv"
 	"reflect"
 	"testing"
-
-	"repro/internal/coding"
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/run"
-	"repro/internal/simnet"
-	"repro/internal/storage"
 )
 
 const compatSeed = 0xC0FFEE
 
-var compatSizes = []int{17, 1000}
+// hashReport digests the option-independent fields of a unified report:
+// every int64 is folded little-endian, with -1 sentinels separating the
+// variable-length histories.
+func hashReport(r Report) uint64 {
+	h := fnv.New64a()
+	w := func(vs ...int64) {
+		for _, v := range vs {
+			var b [8]byte
+			u := uint64(v)
+			for i := 0; i < 8; i++ {
+				b[i] = byte(u >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	w(int64(r.Rounds))
+	if r.Completed {
+		w(1)
+	} else {
+		w(0)
+	}
+	for _, v := range r.Trajectory {
+		w(int64(v))
+	}
+	w(-1)
+	for _, v := range r.Sent {
+		w(int64(v))
+	}
+	w(-1)
+	w(r.Messages, int64(r.MaxInLoad), int64(r.MaxOutLoad))
+	return h.Sum64()
+}
+
+// compatCase pins one (spec, n) cell of the golden table.
+type compatCase struct {
+	name string
+	spec func(n int) Spec
+	want map[int]uint64 // n -> hash at seed compatSeed
+}
+
+var compatCases = []compatCase{
+	{
+		name: "rumor-dating",
+		spec: func(n int) Spec { return RumorConfig{Algorithm: Dating, N: n} },
+		want: map[int]uint64{17: 0x81a18fe81c453882, 1000: 0x0c18d17057c33cd1},
+	},
+	{
+		name: "rumor-push",
+		spec: func(n int) Spec { return RumorConfig{Algorithm: Push, N: n} },
+		want: map[int]uint64{17: 0x7ffbbd51787521f7, 1000: 0x2cba44f09be18d5d},
+	},
+	{
+		name: "multirumor",
+		spec: func(n int) Spec {
+			return MultiRumorConfig{N: n, Injections: []Injection{
+				{Round: 1, Source: 0}, {Round: 3, Source: n / 2}, {Round: 4, Source: n - 1},
+			}}
+		},
+		want: map[int]uint64{17: 0xe0265eec2480d7b9, 1000: 0xccaa468b226a831d},
+	},
+	{
+		name: "monger",
+		spec: func(n int) Spec { return MongerConfig{N: n, Blocks: 4, BlockSize: 16, PayloadSeed: 9} },
+		want: map[int]uint64{17: 0x78c89cb84e8c8ad1, 1000: 0x99e234d3ba2e5a2e},
+	},
+	{
+		name: "storage",
+		spec: func(n int) Spec { return StorageConfig{N: n, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4} },
+		want: map[int]uint64{17: 0xcfb34c8c73339eea, 1000: 0x917cb681c47bb1ba},
+	},
+	{
+		name: "live",
+		spec: func(n int) Spec { return LiveConfig{Profile: UnitBandwidth(n)} },
+		want: map[int]uint64{17: 0xc56f61fda6de9cbd, 1000: 0x2bbea01938fc3740},
+	},
+	{
+		name: "handshake",
+		spec: func(n int) Spec { return HandshakeConfig{Profile: UnitBandwidth(n), Rounds: 6} },
+		want: map[int]uint64{17: 0xe31905a7d005ce61, 1000: 0x6a01f39bbe200e3b},
+	},
+}
 
 // stripTiming clears the fields that legitimately vary between identical
 // runs (wall clock, requested budget), so reports can be DeepEqual-ed.
@@ -30,27 +107,6 @@ func stripTiming(r Report) Report {
 	r.Wall = 0
 	r.Workers = 0
 	return r
-}
-
-// runWorkersInvariant asserts that the report is bit-identical for worker
-// budgets 1, 2 and 8, and returns the workers=1 report.
-func runWorkersInvariant(t *testing.T, spec Spec, opts ...RunOption) Report {
-	t.Helper()
-	var ref Report
-	for i, w := range []int{1, 2, 8} {
-		rep, err := Run(spec, append(opts, WithSeed(compatSeed), WithWorkers(w))...)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", w, err)
-		}
-		if i == 0 {
-			ref = rep
-			continue
-		}
-		if !reflect.DeepEqual(stripTiming(rep), stripTiming(ref)) {
-			t.Fatalf("%s: workers=%d report differs from workers=1", spec.Protocol(), w)
-		}
-	}
-	return ref
 }
 
 func intsEqual(a, b []int) bool {
@@ -65,155 +121,55 @@ func intsEqual(a, b []int) bool {
 	return true
 }
 
-func TestSeedCompatRumor(t *testing.T) {
-	for _, n := range compatSizes {
-		rep := runWorkersInvariant(t, RumorConfig{Algorithm: Dating, N: n})
-		legacy, err := gossip.Run(gossip.Config{Algorithm: gossip.Dating, N: n, Workers: 1},
-			run.StreamFor(compatSeed, run.DomainRumor))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: Run result differs from legacy SpreadRumor path", n)
-		}
-		if rep.Rounds != legacy.Rounds || rep.Completed != legacy.Completed ||
-			!intsEqual(rep.Trajectory, legacy.History) || !intsEqual(rep.Sent, legacy.SentHistory) ||
-			rep.MaxInLoad != legacy.MaxInLoad || rep.MaxOutLoad != legacy.MaxOutLoad {
-			t.Fatalf("n=%d: report fields disagree with the legacy result", n)
-		}
-	}
-}
-
-func TestSeedCompatRumorBaseline(t *testing.T) {
-	// Baseline algorithms ignore the worker budget entirely but must still
-	// reproduce the legacy stream path from the derived seed.
-	for _, n := range compatSizes {
-		rep := runWorkersInvariant(t, RumorConfig{Algorithm: Push, N: n})
-		legacy, err := gossip.Run(gossip.Config{Algorithm: gossip.Push, N: n},
-			run.StreamFor(compatSeed, run.DomainRumor))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: push baseline differs from legacy path", n)
-		}
-	}
-}
-
-func TestSeedCompatMultiRumor(t *testing.T) {
-	for _, n := range compatSizes {
-		inj := []Injection{{Round: 1, Source: 0}, {Round: 3, Source: n / 2}, {Round: 4, Source: n - 1}}
-		rep := runWorkersInvariant(t, MultiRumorConfig{N: n, Injections: inj})
-		legacy, err := gossip.RunMultiRumor(gossip.MultiRumorConfig{N: n, Injections: inj, Workers: 1},
-			run.StreamFor(compatSeed, run.DomainMulti))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: Run result differs from legacy SpreadMultiRumor path", n)
-		}
-		if !intsEqual(rep.Trajectory, legacy.KnowledgeHist) {
-			t.Fatalf("n=%d: trajectory disagrees with the legacy knowledge history", n)
-		}
-	}
-}
-
-func TestSeedCompatMonger(t *testing.T) {
-	for _, n := range compatSizes {
-		cfg := MongerConfig{N: n, Blocks: 4, BlockSize: 16, PayloadSeed: 9}
-		rep := runWorkersInvariant(t, cfg)
-		lcfg := coding.MongerConfig{N: n, Blocks: 4, BlockSize: 16, PayloadSeed: 9, Workers: 1}
-		legacy, err := coding.RunMonger(lcfg, run.StreamFor(compatSeed, run.DomainMonger))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: Run result differs from legacy Monger path", n)
-		}
-		if !rep.Completed {
-			t.Fatalf("n=%d: mongering incomplete", n)
-		}
-	}
-}
-
-func TestSeedCompatStorage(t *testing.T) {
-	for _, n := range compatSizes {
-		cfg := StorageConfig{N: n, ObjectsPerNode: 1, Replicas: 2, SlotsPerNode: 4}
-		rep := runWorkersInvariant(t, cfg)
-		lcfg := cfg
-		lcfg.Workers = 1
-		legacy, err := storage.Run(lcfg, run.StreamFor(compatSeed, run.DomainStorage))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: Run result differs from legacy Replicate path", n)
-		}
-		if !intsEqual(rep.Trajectory, legacy.PlacedHistory) {
-			t.Fatalf("n=%d: trajectory disagrees with the legacy placed history", n)
-		}
-	}
-}
-
-func TestSeedCompatLive(t *testing.T) {
-	for _, n := range compatSizes {
-		spec := LiveConfig{Profile: UnitBandwidth(n)}
-		rep := runWorkersInvariant(t, spec)
-		legacy, err := gossip.RunLive(gossip.LiveConfig{
-			Profile: UnitBandwidth(n),
-			Seed:    run.SeedFor(compatSeed, run.DomainLive),
-			Engine:  gossip.LiveSharded,
-			Shards:  1,
+func TestSeedCompatGoldens(t *testing.T) {
+	// The golden table itself, plus the option-invariance sweep: worker
+	// budgets 1/2/8 and pipelining depths 0/3 must all hash to the pinned
+	// value — they are pure speed knobs.
+	for _, tc := range compatCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for n, want := range tc.want {
+				var ref Report
+				first := true
+				for _, w := range []int{1, 2, 8} {
+					for _, depth := range []int{0, 3} {
+						rep, err := Run(tc.spec(n), WithSeed(compatSeed), WithWorkers(w), WithPipeline(depth))
+						if err != nil {
+							t.Fatalf("n=%d workers=%d pipeline=%d: %v", n, w, depth, err)
+						}
+						if got := hashReport(rep); got != want {
+							t.Fatalf("n=%d workers=%d pipeline=%d: report hash %#016x, pinned %#016x",
+								n, w, depth, got, want)
+						}
+						if first {
+							ref, first = rep, false
+							continue
+						}
+						if !reflect.DeepEqual(stripTiming(rep), stripTiming(ref)) {
+							t.Fatalf("n=%d workers=%d pipeline=%d: report differs beyond the hashed fields", n, w, depth)
+						}
+					}
+				}
+			}
 		})
+	}
+}
+
+func TestSeedCompatLiveEngines(t *testing.T) {
+	// The engine axis must be invisible too: the goroutine-per-peer
+	// substrate yields the identical report under perfect sync, matching
+	// the same pinned hash as the sharded default.
+	for _, n := range []int{17, 1000} {
+		spec := LiveConfig{Profile: UnitBandwidth(n)}
+		sharded, err := Run(spec, WithSeed(compatSeed))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(rep.Detail, legacy) {
-			t.Fatalf("n=%d: Run result differs from legacy SpreadRumorLive path", n)
-		}
-
-		// The engine axis must be invisible too: the goroutine-per-peer
-		// substrate yields the identical report under perfect sync.
 		goro, err := Run(spec, WithSeed(compatSeed), WithEngine(LiveGoroutine))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(stripTiming(goro), stripTiming(rep)) {
+		if !reflect.DeepEqual(stripTiming(goro), stripTiming(sharded)) {
 			t.Fatalf("n=%d: goroutine engine report differs from sharded", n)
-		}
-	}
-}
-
-func TestSeedCompatHandshake(t *testing.T) {
-	for _, n := range compatSizes {
-		const rounds = 6
-		rep := runWorkersInvariant(t, HandshakeConfig{Profile: UnitBandwidth(n), Rounds: rounds})
-
-		sel, err := core.NewUniformSelector(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		h, err := core.NewHandshake(UnitBandwidth(n), sel, run.SeedFor(compatSeed, run.DomainHandshake))
-		if err != nil {
-			t.Fatal(err)
-		}
-		nw, err := simnet.NewNetwork(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var perRound []int
-		for r := 0; r < rounds; r++ {
-			dates, err := h.RunRound(nw)
-			if err != nil {
-				t.Fatal(err)
-			}
-			perRound = append(perRound, len(dates))
-		}
-		if !intsEqual(rep.Sent, perRound) {
-			t.Fatalf("n=%d: per-round dates %v differ from the legacy handshake %v", n, rep.Sent, perRound)
-		}
-		if rep.Messages != nw.Stats().Sent {
-			t.Fatalf("n=%d: traffic %d differs from the legacy handshake %d", n, rep.Messages, nw.Stats().Sent)
 		}
 	}
 }
@@ -224,6 +180,9 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(RumorConfig{N: 64, Algorithm: Dating}, WithWorkers(0)); err == nil {
 		t.Error("accepted a zero worker budget")
+	}
+	if _, err := Run(RumorConfig{N: 64, Algorithm: Dating}, WithPipeline(-1)); err == nil {
+		t.Error("accepted a negative pipeline depth")
 	}
 	if _, err := Run(RumorConfig{}); err == nil {
 		t.Error("accepted an empty rumor config")
