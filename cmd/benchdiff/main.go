@@ -13,9 +13,12 @@
 // times the baseline's, or when it reports completed=false. Points present
 // in only one file — a PR changed the benchmark's sizing — are reported but
 // never gate: the gate exists to catch engine slowdowns, not bench
-// reshapes. The default tolerance of 2.5x is deliberately generous so noisy
-// shared CI runners do not flap the gate; genuine algorithmic regressions
-// are typically far larger.
+// reshapes. A baseline file whose point list is empty or absent gates
+// nothing: benchdiff reports "no baseline" and exits zero, so the first run
+// after a benchmark is introduced passes while its committed baseline is
+// still a stub. The default tolerance of 2.5x is deliberately generous so
+// noisy shared CI runners do not flap the gate; genuine algorithmic
+// regressions are typically far larger.
 package main
 
 import (
@@ -107,19 +110,20 @@ func diffPoints(baseline, current []point, tolerance float64) []verdict {
 	return out
 }
 
-func readBench(path string) ([]point, error) {
+// readBench parses a BENCH_*.json envelope. An empty or absent point list
+// is not an error here — a baseline from before a benchmark existed is a
+// legitimate state (the caller decides whether emptiness gates); only
+// unreadable or malformed files fail.
+func readBench(path string) ([]point, string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var f benchFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, "", fmt.Errorf("%s: %w", path, err)
 	}
-	if len(f.Result.Points) == 0 {
-		return nil, fmt.Errorf("%s: no points (experiment %q)", path, f.Experiment)
-	}
-	return f.Result.Points, nil
+	return f.Result.Points, f.Experiment, nil
 }
 
 func main() {
@@ -132,15 +136,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	base, err := readBench(*basePath)
+	base, baseExp, err := readBench(*basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	cur, err := readBench(*curPath)
+	cur, curExp, err := readBench(*curPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
+	}
+	// A fresh run with no points is a broken benchmark, not a reshape.
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: no points (experiment %q)\n", *curPath, curExp)
+		os.Exit(2)
+	}
+	// An empty baseline cannot gate anything: report and pass, so the first
+	// CI run after a benchmark is introduced does not flap while its
+	// baseline file is still a stub.
+	if len(base) == 0 {
+		fmt.Printf("benchdiff: no baseline points in %s (experiment %q) — nothing to gate\n", *basePath, baseExp)
+		return
 	}
 
 	failed := false

@@ -131,14 +131,47 @@ func TestReadBenchParsesWriterEnvelope(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	points, err := readBench(path)
+	points, exp, err := readBench(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if exp != "engine" {
+		t.Fatalf("experiment %q, want engine", exp)
 	}
 	if len(points) != 1 || points[0].Protocol != "engine-round" || points[0].SecondsPerRound != 0.001 {
 		t.Fatalf("parsed %+v", points)
 	}
-	if _, err := readBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, _, err := readBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file not reported")
+	}
+}
+
+func TestReadBenchToleratesEmptyPointLists(t *testing.T) {
+	// A baseline from before a benchmark existed — empty or absent point
+	// list — parses cleanly; main reports "no baseline ... nothing to gate"
+	// and passes instead of gating. Only malformed files are errors.
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for name, content := range map[string]string{
+		"empty.json":  `{"experiment": "async", "result": {"points": []}}`,
+		"absent.json": `{"experiment": "async", "result": {}}`,
+		"bare.json":   `{"experiment": "async"}`,
+	} {
+		points, exp, err := readBench(write(name, content))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(points) != 0 || exp != "async" {
+			t.Errorf("%s: got %d points, experiment %q", name, len(points), exp)
+		}
+	}
+	if _, _, err := readBench(write("broken.json", `{"experiment":`)); err == nil {
+		t.Error("parsed malformed JSON without error")
 	}
 }

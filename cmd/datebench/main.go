@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datebench [-mode figure1|engine|live] [-scale quick|paper] [-seed N]
+//	datebench [-mode figure1|engine|live|async] [-scale quick|paper] [-seed N]
 //	          [-par N] [-workers N] [-n N] [-rounds N] [-shards N]
 //	          [-baseline] [-csv] [-json]
 //
@@ -42,6 +42,15 @@
 // far beyond that, goroutine-per-peer does not scale.
 //
 //	datebench -mode live -n 100000 -shards 2 -json > BENCH_live.json
+//
+// async mode runs full asynchronous push&pull spreading — every peer firing
+// on its own exponential clock, no global round barrier — on the clockless
+// internal/async runtime at 1 and -shards workers. Randomness derives per
+// (peer, firing-index), so the informed-count trajectories of every shard
+// count must agree bit for bit; datebench exits non-zero if they do not.
+// -n defaults to 100000 in this mode.
+//
+//	datebench -mode async -n 100000 -shards 2 -json > BENCH_async.json
 package main
 
 import (
@@ -62,7 +71,7 @@ func main() {
 	workers := flag.Int("workers", 4, "max parallel workers (engine mode)")
 	n := flag.Int("n", 1_000_000, "node count (engine mode; live mode defaults to 100000)")
 	rounds := flag.Int("rounds", 5, "timed rounds per worker count (engine mode)")
-	shards := flag.Int("shards", 4, "sharded runtime workers (live mode; any value is bit-identical)")
+	shards := flag.Int("shards", 4, "sharded runtime workers (live and async modes; any value is bit-identical)")
 	baseline := flag.Bool("baseline", true, "include the goroutine-per-peer engine (live mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
@@ -114,15 +123,32 @@ func main() {
 			fmt.Print(res.Table().Render())
 		}
 
+	case "async":
+		asyncN := *n
+		if !nFlagSet() {
+			asyncN = 100_000
+		}
+		res, err := sim.RunAsyncBench(asyncN, *shards, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *jsonOut:
+			emitJSON("async", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+		}
+		if !res.Identical {
+			fmt.Fprintln(os.Stderr, "datebench: shard counts disagree on the async spreading trajectory — determinism regression")
+			os.Exit(1)
+		}
+
 	case "live":
 		liveN := *n
-		nSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "n" {
-				nSet = true
-			}
-		})
-		if !nSet {
+		if !nFlagSet() {
 			liveN = 100_000
 		}
 		res, err := sim.RunLiveBench(liveN, *shards, *baseline, *seed)
@@ -144,9 +170,21 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine or live)\n", *mode)
+		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live or async)\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// nFlagSet reports whether -n was given explicitly; the live and async
+// modes default to a smaller n than engine mode when it was not.
+func nFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			set = true
+		}
+	})
+	return set
 }
 
 // emitJSON wraps a result in a stable envelope so collected BENCH_*.json

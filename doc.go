@@ -22,8 +22,8 @@
 //	fmt.Println(rep.Rounds, rep.Completed, rep.Messages)
 //
 // A protocol config — RumorConfig, MultiRumorConfig, LiveConfig,
-// MongerConfig, StorageConfig, HandshakeConfig — is a Spec, and the axes
-// orthogonal to the protocol ride as functional options:
+// AsyncConfig, MongerConfig, StorageConfig, HandshakeConfig — is a Spec,
+// and the axes orthogonal to the protocol ride as functional options:
 //
 //   - WithSeed roots every random stream of the run. Streams are derived
 //     internally with the repository's one SplitMix64 scheme, one domain
@@ -167,6 +167,38 @@
 // messages that miss their matching round wait for the rendezvous's next
 // one — so hostile networks slow spreading gracefully rather than wedging
 // it; the hetsim "live" experiment tables the sensitivity.
+//
+// # The clockless asynchronous runtime
+//
+// AsyncConfig drops the global round barrier: each peer contacts partners
+// at the points of its own Poisson process, the rate drawn from its
+// heterogeneity profile ((bin+bout)/2 — bandwidth heterogeneity becomes
+// firing-frequency heterogeneity), pushing the rumor when it knows it and
+// pulling a reply when the contact does. With a unit profile the mean
+// inter-firing gap is one expected synchronous round, so sync and async
+// spread curves share a time axis; the hetsim "async" experiment tables
+// the comparison on homogeneous and Zipf profiles.
+//
+// The runtime underneath (internal/async) is a sharded calendar queue on
+// the same internal/exch kernel as the live runtime. Continuous time is
+// cut into buckets of width AsyncConfig.BucketWidth; a bucket executes as
+// deliver (counting-sort the bucket's arrivals by destination), step (each
+// shard replays its peers' arrivals, then their firings in time order) and
+// route (hand emissions to future calendar slots) — and because peers
+// interact only through messages that land in later buckets, the bucket
+// boundary is the runtime's sole synchronization point. It is also the
+// latency quantum: arrivals are absorbed at the boundary of their arrival
+// bucket, so flight time is effectively max(Latency, time to the next
+// boundary).
+//
+// Determinism holds without a clock to anchor rounds: peer i's k-th firing
+// draws its inter-firing gap and its protocol randomness from a stream
+// seeded SplitMix64(seed, asyncFireDomain, i, k), receive handlers are
+// pure (no stream), and the exchange kernel reassembles emissions in
+// global (peer, firing) scan order — so a run is a pure function of
+// (spec, seed) and bit-identical for every WithWorkers shard count.
+// WithNet is rejected for async runs: flight time is the protocol's own
+// Latency axis, not a pluggable round-grain model.
 //
 // # The repetition-parallel experiment harness
 //

@@ -148,6 +148,7 @@ type shard struct {
 
 	sent    int64
 	dropped int64
+	clamped int64
 	byKind  [256]int64
 }
 
@@ -205,12 +206,15 @@ func New(cfg Config) (*Runtime, error) {
 	if err := validateNet(net, cfg.N); err != nil {
 		return nil, err
 	}
+	// Validate the configured value before applying the default, so a
+	// negative Shards is rejected (with the value the caller wrote) instead
+	// of sliding past the GOMAXPROCS substitution.
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("live: shards %d must be non-negative (0 selects GOMAXPROCS)", cfg.Shards)
+	}
 	shards := cfg.Shards
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards < 1 {
-		return nil, fmt.Errorf("live: shards %d must be non-negative", cfg.Shards)
 	}
 	if shards > cfg.N {
 		shards = cfg.N
@@ -288,7 +292,13 @@ func (rt *Runtime) makeEmit(sh *shard) func(simnet.Message) {
 			return
 		}
 		if d > rt.maxDelay {
+			// A Plan result beyond MaxDelay() means the model's two methods
+			// disagree — a model bug, not a network event. The runtime cannot
+			// schedule past its delivery ring, so it delivers at the horizon,
+			// but counts the rewrite in Stats.Clamped instead of silently
+			// reclassifying it as a valid delivery.
 			d = rt.maxDelay
+			sh.clamped++
 		}
 		sh.sent++
 		sh.byKind[m.Kind]++
@@ -475,8 +485,10 @@ func (rt *Runtime) route() {
 		sh := &rt.sh[w]
 		rt.stats.Sent += sh.sent
 		rt.stats.Dropped += sh.dropped
+		rt.stats.Clamped += sh.clamped
 		sh.sent = 0
 		sh.dropped = 0
+		sh.clamped = 0
 		for k, c := range sh.byKind {
 			if c != 0 {
 				rt.stats.ByKind[k] += c

@@ -2,6 +2,8 @@ package live
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -372,6 +374,143 @@ func ExampleRuntime() {
 	stats := rt.Run(6)
 	fmt.Println(stats.Sent, "messages")
 	// Output: 6 messages
+}
+
+func TestShardValidation(t *testing.T) {
+	// Shards semantics at the edges: negative is an error (0 is the
+	// GOMAXPROCS default, so "less than one worker" is never what a negative
+	// value means), zero selects GOMAXPROCS capped at n, and counts beyond n
+	// clamp to n.
+	step := func(int, int, []simnet.Message, *rng.Stream, func(simnet.Message)) {}
+	for _, shards := range []int{-1, -8} {
+		_, err := New(Config{N: 4, Step: step, Shards: shards})
+		if err == nil {
+			t.Fatalf("accepted shards=%d", shards)
+		}
+		if !strings.Contains(err.Error(), "non-negative") {
+			t.Fatalf("shards=%d error does not state the constraint: %v", shards, err)
+		}
+	}
+	rt, err := New(Config{N: 2, Step: step, Shards: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := min(runtime.GOMAXPROCS(0), 2); rt.Shards() != want {
+		t.Fatalf("shards=0 selected %d workers, want min(GOMAXPROCS, n) = %d", rt.Shards(), want)
+	}
+	rt, err = New(Config{N: 3, Step: step, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Shards() != 3 {
+		t.Fatalf("shards=64 on n=3 kept %d workers, want 3", rt.Shards())
+	}
+}
+
+// overpromise is a deliberately buggy NetModel: Plan returns a delay beyond
+// its own MaxDelay. The runtime must deliver at MaxDelay and count each
+// rewrite in Stats.Clamped rather than silently rewriting.
+type overpromise struct{ cap, plan int }
+
+func (o overpromise) Plan(int, simnet.Message, *rng.Stream) int { return o.plan }
+func (o overpromise) MaxDelay() int                             { return o.cap }
+func (overpromise) Random() bool                                { return false }
+
+func TestPlanBeyondMaxDelayCountsClamps(t *testing.T) {
+	// A model promising MaxDelay=2 but planning 7 behaves exactly like
+	// FixedLatency{2} — same digests, same delivery schedule — except every
+	// delivery is counted in Stats.Clamped, so the bug is observable.
+	const n, rounds, fan = 300, 10, 2
+	buggy := newChatter(n, fan)
+	rt, err := New(Config{N: n, Seed: 8, Step: buggy.step, Shards: 2, Net: overpromise{cap: 2, plan: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggyStats := rt.Run(rounds)
+
+	honest := newChatter(n, fan)
+	rt2, err := New(Config{N: n, Seed: 8, Step: honest.step, Shards: 2, Net: FixedLatency{Rounds: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestStats := rt2.Run(rounds)
+
+	if buggy.combined() != honest.combined() {
+		t.Fatal("clamped over-promise model diverged from FixedLatency at the clamp value")
+	}
+	if buggyStats.Clamped != buggyStats.Sent || buggyStats.Sent == 0 {
+		t.Fatalf("want every sent message counted as clamped, got %+v", buggyStats)
+	}
+	if honestStats.Clamped != 0 {
+		t.Fatalf("well-formed model clamped %d messages", honestStats.Clamped)
+	}
+	buggyStats.Clamped = 0
+	if buggyStats != honestStats {
+		t.Fatalf("traffic diverged beyond the clamp counter:\nbuggy  %+v\nhonest %+v", buggyStats, honestStats)
+	}
+}
+
+func TestInboxAfterPipelinedEmptyRounds(t *testing.T) {
+	// The delivered view after rounds in which nothing was sent: Inbox must
+	// report every peer empty — under both schedules, including immediately
+	// after RunPipelined's fused delivery path — and a Run/RunPipelined
+	// interleave on one runtime must expose the same view as a pure-Run twin.
+	const n = 50
+	quietAfter := func(st *chatterState) func(int, int, []simnet.Message, *rng.Stream, func(simnet.Message)) {
+		return func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+			if round == 0 {
+				st.step(node, round, inbox, s, emit)
+			} else {
+				st.step(node, round, inbox, s, func(simnet.Message) {})
+			}
+		}
+	}
+
+	check := func(name string, rt *Runtime) {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += len(rt.Inbox(i))
+		}
+		if total != 0 {
+			t.Fatalf("%s: %d messages visible after an empty round", name, total)
+		}
+	}
+
+	st1 := newChatter(n, 3)
+	rt1, err := New(Config{N: n, Seed: 4, Step: quietAfter(st1), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1.Run(5)
+	check("Run", rt1)
+
+	st2 := newChatter(n, 3)
+	rt2, err := New(Config{N: n, Seed: 4, Step: quietAfter(st2), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.RunPipelined(5)
+	check("RunPipelined", rt2)
+
+	// Interleaving the schedules must not change state or view: compare
+	// digests, stats and the final inboxes against the pure-Run runtime.
+	st3 := newChatter(n, 3)
+	rt3, err := New(Config{N: n, Seed: 4, Step: quietAfter(st3), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt3.Run(1)
+	rt3.RunPipelined(3)
+	stats := rt3.Run(1)
+	check("interleaved", rt3)
+	if st3.combined() != st1.combined() || stats != rt1.Stats() {
+		t.Fatal("Run/RunPipelined interleave diverged from pure Run")
+	}
+	for i := 0; i < n; i++ {
+		if len(rt3.Inbox(i)) != len(rt1.Inbox(i)) {
+			t.Fatalf("inbox %d view differs between interleaved and pure Run", i)
+		}
+	}
 }
 
 func TestRunPipelinedBitIdentity(t *testing.T) {

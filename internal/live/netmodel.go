@@ -25,7 +25,9 @@ type NetModel interface {
 	// Plan returns the number of rounds the message is in flight (>= 1;
 	// 1 reproduces the synchronous model: sent in round r, delivered at the
 	// start of round r+1), or Drop if the network loses it. Values above
-	// MaxDelay are clamped to MaxDelay.
+	// MaxDelay mean Plan and MaxDelay disagree — a model bug: the runtime
+	// delivers such messages at MaxDelay and counts each rewrite in
+	// Stats.Clamped, so a well-formed model always runs with Clamped == 0.
 	Plan(round int, m simnet.Message, s *rng.Stream) int
 	// MaxDelay bounds Plan's return value; the runtime sizes its delivery
 	// ring with it. Must be >= 1.

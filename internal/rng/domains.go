@@ -1,0 +1,33 @@
+package rng
+
+// Domain allocation registry.
+//
+// Every package that derives stream families from a root seed does so with
+// Derive(seed, domain, coords...); the domain tag keeps the families of
+// different subsystems disjoint even when they share a root seed. Tags are
+// allocated once, here, so a new subsystem can pick a fresh range without
+// grepping the tree:
+//
+//	0x01        core.Arranger (per-node scatter / per-rendezvous match)
+//	0x11–0x61   sim harness repetition jobs (figure1, figure2, multirumor,
+//	            loads, dynamic, storage)
+//	0x71–0x72   sim async experiment inputs (heterogeneous profiles,
+//	            embeddings)
+//	0x91–0x94   live runtime (peer streams, net streams, churn hash, ring
+//	            embedding)
+//	0xA1–0xA7   run protocol seeds (rumor, multi, live, monger, storage,
+//	            handshake, async)
+//	0xB1        async runtime firing streams (DomainAsyncFire)
+//
+// Most tags stay unexported inside their owning package (they are an
+// implementation detail of that package's determinism story); the constants
+// below are the ones shared across packages.
+const (
+	// DomainAsyncFire seeds the stream of one firing event: peer i's k-th
+	// firing draws its inter-firing gap and its protocol randomness from a
+	// stream seeded Derive(runtimeSeed, DomainAsyncFire, i, k). Deriving per
+	// (peer, firing-index) — rather than per peer — is what makes the async
+	// runtime bit-identical for every shard count: no shard ever needs
+	// another shard's generator position to reproduce an event.
+	DomainAsyncFire uint64 = 0xB1
+)

@@ -62,6 +62,7 @@ const (
 	DomainMonger    uint64 = 0xA4
 	DomainStorage   uint64 = 0xA5
 	DomainHandshake uint64 = 0xA6
+	DomainAsync     uint64 = 0xA7
 )
 
 // SeedFor returns the effective seed a protocol with the given domain tag

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsyncCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sync-vs-async comparison end to end")
+	}
+	res, err := RunAsyncCompare(ScaleQuick, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unit-profile sizes x two modes, plus the heterogeneous pair.
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Completed {
+			t.Fatalf("row %+v incomplete", row)
+		}
+		if row.T50 > row.T90 || row.T90 > row.Time {
+			t.Fatalf("milestones out of order in %+v", row)
+		}
+		if row.Messages <= 0 || row.Steps <= 0 {
+			t.Fatalf("row %+v has empty metrics", row)
+		}
+	}
+	rendered := res.Table().Render()
+	for _, want := range []string{"sync-push-pull", "async", "zipf", "sync-dating"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestAsyncCompareWorkersByteIdentical(t *testing.T) {
+	// The workers knob is the async runtime's shard count — a pure speed
+	// knob; the rendered table must be byte-identical across values.
+	if testing.Short() {
+		t.Skip("runs the comparison twice")
+	}
+	a, err := RunAsyncCompare(ScaleQuick, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAsyncCompare(ScaleQuick, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table().Render() != b.Table().Render() {
+		t.Fatal("workers knob changed the comparison table")
+	}
+}
+
+func TestRunAsyncBench(t *testing.T) {
+	res, err := RunAsyncBench(1500, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("shard counts disagreed on the async spreading trajectory")
+	}
+	if len(res.Rows) != 2 || len(res.Points) != 2 {
+		t.Fatalf("got %d rows, %d points, want 2 each (shards 1 and 2)", len(res.Rows), len(res.Points))
+	}
+	for i, row := range res.Rows {
+		if row.Buckets <= 0 || row.Fired <= 0 || row.Time <= 0 {
+			t.Fatalf("row %+v has empty metrics", row)
+		}
+		p := res.Points[i]
+		if p.Protocol != "async" || !p.Completed || p.Rounds != row.Buckets {
+			t.Fatalf("point %+v does not mirror row %+v", p, row)
+		}
+		// The memory columns the BENCH_async.json gate report reads.
+		if p.PeakHeapSysMB <= 0 {
+			t.Fatalf("point %+v has no memory sample", p)
+		}
+	}
+	if res.Rows[0].Shards != 1 || res.Rows[1].Shards != 2 {
+		t.Fatalf("shard counts %d, %d, want 1, 2", res.Rows[0].Shards, res.Rows[1].Shards)
+	}
+	if _, err := RunAsyncBench(0, 1, 1); err == nil {
+		t.Error("accepted n = 0")
+	}
+}

@@ -56,6 +56,7 @@ func Registry() []Experiment {
 		{"dynamicdht", "E13: spreading over a churning DHT", parTabler(RunDynamicDHTPar)},
 		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
 		{"live", "sharded message runtime: scale sweep + latency/loss sensitivity", parTabler(RunLiveScaled)},
+		{"async", "sync-vs-async spread curves on exponential peer clocks", parTabler(RunAsyncCompare)},
 		{"protocols", "every protocol via the unified run.Run entrypoint", parTabler(RunProtocols)},
 	}
 }

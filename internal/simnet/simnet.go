@@ -38,9 +38,16 @@ type Message struct {
 
 // Stats aggregates traffic counters for an engine run.
 type Stats struct {
-	Sent    int64      // messages accepted for delivery
-	Dropped int64      // messages to dead or invalid destinations
-	Rounds  int64      // Deliver calls
+	Sent    int64 // messages accepted for delivery
+	Dropped int64 // messages to dead or invalid destinations
+	Rounds  int64 // Deliver calls
+	// Clamped counts messages whose planned delay exceeded the engine's
+	// schedulable horizon and was clamped to it: a NetModel.Plan result
+	// beyond MaxDelay() on the sharded runtime, or a float boundary-noise
+	// clamp on the async calendar. The messages are still delivered (at the
+	// horizon), but a nonzero count flags a model whose Plan and MaxDelay
+	// disagree. Round-synchronous engines never clamp.
+	Clamped int64
 	ByKind  [256]int64 // sent messages per Kind
 }
 

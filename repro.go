@@ -92,6 +92,18 @@ type (
 	// NetEpochChurn takes whole peers down for whole epochs (correlated loss).
 	NetEpochChurn = live.EpochChurn
 
+	// AsyncConfig parameterizes asynchronous push&pull spreading on the
+	// clockless event-driven runtime: each peer fires on its own
+	// exponential clock (rate drawn from its heterogeneity profile) instead
+	// of in globally synchronous rounds. The shard count comes from the run
+	// options (WithWorkers) and is a pure speed knob — every count replays
+	// the identical event history bit for bit.
+	AsyncConfig = gossip.AsyncConfig
+
+	// AsyncResult reports an asynchronous spreading run (buckets executed,
+	// simulated clock time, informed-count history, firings).
+	AsyncResult = gossip.AsyncResult
+
 	// MultiRumorConfig parameterizes spreading of several rumors injected
 	// over time.
 	MultiRumorConfig = gossip.MultiRumorConfig
@@ -156,10 +168,10 @@ const (
 
 // Run executes any protocol of this package — rumor spreading
 // (RumorConfig), multi-rumor (MultiRumorConfig), message-level live
-// spreading (LiveConfig), network-coded mongering (MongerConfig),
-// replicated storage (StorageConfig), the explicit dating handshake
-// (HandshakeConfig) — from its config spec plus the orthogonal axes
-// carried by options:
+// spreading (LiveConfig), asynchronous clockless spreading (AsyncConfig),
+// network-coded mongering (MongerConfig), replicated storage
+// (StorageConfig), the explicit dating handshake (HandshakeConfig) — from
+// its config spec plus the orthogonal axes carried by options:
 //
 //	rep, err := repro.Run(repro.RumorConfig{N: 1000, Algorithm: repro.Dating},
 //	    repro.WithSeed(42), repro.WithWorkers(8))
