@@ -6,7 +6,8 @@
 //
 //	datebench [-mode figure1|engine|live|async] [-scale quick|paper] [-seed N]
 //	          [-par N] [-workers N] [-n N] [-rounds N] [-shards N]
-//	          [-baseline] [-csv] [-json]
+//	          [-baseline] [-csv] [-json] [-digest]
+//	          [-trace FILE] [-metrics] [-pprof ADDR]
 //
 // figure1 mode (the default) reproduces the paper's Figure 1. The paper
 // scale runs n up to 100000 with 10^3–10^4 rounds per point and 200 DHT
@@ -51,6 +52,21 @@
 // -n defaults to 100000 in this mode.
 //
 //	datebench -mode async -n 100000 -shards 2 -json > BENCH_async.json
+//
+// # Observability
+//
+// -trace FILE attaches the deterministic instrumentation observer and
+// writes a Chrome trace_event timeline — per-(round, shard, phase) spans
+// plus gauge counter tracks — loadable in about:tracing or
+// https://ui.perfetto.dev. -metrics prints the aggregated phase/gauge
+// summary tables to stderr. -pprof ADDR serves net/http/pprof and expvar
+// (including the live observer snapshot at /debug/vars) on ADDR for the
+// duration of the run. Observation is read-only: results are bit-identical
+// with and without these flags, a property -digest makes checkable — in
+// live and async modes it prints only the run's trajectory digest, so CI
+// compares instrumented and uninstrumented runs with a one-line cmp:
+//
+//	datebench -mode live -trace out.json -digest
 package main
 
 import (
@@ -60,10 +76,16 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/obs"
+	"repro/internal/run"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	mode := flag.String("mode", "figure1", "what to run: figure1, engine or live")
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper (figure1 mode)")
 	seed := flag.Uint64("seed", 42, "root random seed")
@@ -75,19 +97,56 @@ func main() {
 	baseline := flag.Bool("baseline", true, "include the goroutine-per-peer engine (live mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
+	digest := flag.Bool("digest", false, "print only the trajectory digest (live and async modes)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline to this file (about:tracing / ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print instrumentation summary tables to stderr after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	// The bench harnesses construct their run options internally, so the
+	// observer rides the process-wide default; that is sound because
+	// observers are read-only and never alter a run.
+	var observer *obs.Observer
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		observer = obs.NewObserver()
+		run.SetDefaultObserver(observer)
+	}
+	if *pprofAddr != "" {
+		obs.Publish(observer)
+		_, addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "datebench: pprof at http://%s/debug/pprof/, expvar at /debug/vars\n", addr)
+	}
+	// Export on every exit path — a trace of a failing run is the one you
+	// want to look at.
+	defer func() {
+		if observer == nil {
+			return
+		}
+		if *tracePath != "" {
+			if err := observer.WriteTraceFile(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "datebench:", err)
+			}
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, observer.Summary())
+		}
+	}()
 
 	switch *mode {
 	case "figure1":
 		scale, err := sim.ParseScale(*scaleName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		res, err := sim.RunFigure1Par(scale, *seed, *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "datebench:", err)
-			os.Exit(1)
+			return 1
 		}
 		switch {
 		case *jsonOut:
@@ -112,7 +171,7 @@ func main() {
 		res, err := sim.RunEngineBench(*n, *rounds, counts, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "datebench:", err)
-			os.Exit(1)
+			return 1
 		}
 		switch {
 		case *jsonOut:
@@ -131,9 +190,11 @@ func main() {
 		res, err := sim.RunAsyncBench(asyncN, *shards, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "datebench:", err)
-			os.Exit(1)
+			return 1
 		}
 		switch {
+		case *digest:
+			fmt.Println(res.TrajectoryDigest)
 		case *jsonOut:
 			emitJSON("async", *seed, res)
 		case *csv:
@@ -143,7 +204,7 @@ func main() {
 		}
 		if !res.Identical {
 			fmt.Fprintln(os.Stderr, "datebench: shard counts disagree on the async spreading trajectory — determinism regression")
-			os.Exit(1)
+			return 1
 		}
 
 	case "live":
@@ -154,9 +215,11 @@ func main() {
 		res, err := sim.RunLiveBench(liveN, *shards, *baseline, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "datebench:", err)
-			os.Exit(1)
+			return 1
 		}
 		switch {
+		case *digest:
+			fmt.Println(res.TrajectoryDigest)
 		case *jsonOut:
 			emitJSON("live", *seed, res)
 		case *csv:
@@ -166,13 +229,14 @@ func main() {
 		}
 		if !res.Identical {
 			fmt.Fprintln(os.Stderr, "datebench: engines disagree on the spreading trajectory — determinism regression")
-			os.Exit(1)
+			return 1
 		}
 
 	default:
 		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live or async)\n", *mode)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // nFlagSet reports whether -n was given explicitly; the live and async

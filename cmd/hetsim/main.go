@@ -4,12 +4,18 @@
 // Usage:
 //
 //	hetsim [-experiment <name>|all] [-scale quick|paper] [-seed N] [-par N]
-//	       [-csv] [-list]
+//	       [-csv] [-list] [-trace FILE] [-metrics] [-pprof ADDR]
 //
 // -par fans experiment repetitions across N goroutines (default
 // GOMAXPROCS). Repetition seeds are derived from (seed, overlay,
 // repetition), so tables are byte-identical for every -par value; the flag
 // is purely a wall-clock knob for paper-scale sweeps.
+//
+// -trace FILE attaches the read-only instrumentation observer to every run
+// the experiments execute and writes a Chrome trace_event timeline on exit;
+// -metrics prints the aggregated phase/gauge summary to stderr; -pprof ADDR
+// serves net/http/pprof and expvar while the experiments run. None of the
+// three changes any table: observation is deterministic-by-construction.
 //
 // Run `hetsim -list` for the experiment names and descriptions.
 package main
@@ -20,29 +26,68 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/obs"
+	"repro/internal/run"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	expName := flag.String("experiment", "all", "which experiment to run (or 'all')")
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers for repetition-parallel experiments (results identical for any value)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline to this file (about:tracing / ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print instrumentation summary tables to stderr after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range sim.Registry() {
 			fmt.Printf("%-14s %s\n", e.Name, e.About)
 		}
-		return
+		return 0
 	}
+
+	// Experiments build their run options internally, so the observer rides
+	// the process-wide default; sound because observers are read-only.
+	var observer *obs.Observer
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		observer = obs.NewObserver()
+		run.SetDefaultObserver(observer)
+	}
+	if *pprofAddr != "" {
+		obs.Publish(observer)
+		_, addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "hetsim: pprof at http://%s/debug/pprof/, expvar at /debug/vars\n", addr)
+	}
+	defer func() {
+		if observer == nil {
+			return
+		}
+		if *tracePath != "" {
+			if err := observer.WriteTraceFile(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "hetsim:", err)
+			}
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, observer.Summary())
+		}
+	}()
 
 	scale, err := sim.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	ran := 0
@@ -53,7 +98,7 @@ func main() {
 		t, err := e.Run(scale, *seed, *par)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hetsim: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		if *csv {
 			fmt.Print(t.CSV())
@@ -69,6 +114,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, " %s", e.Name)
 		}
 		fmt.Fprintln(os.Stderr)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -50,8 +50,12 @@
 //     asymmetric model whose per-pair latency is the ring distance in a
 //     DHT-style embedding (UniformRingEmbedding builds one).
 //   - WithTrace replays the per-round trajectory to an observer once the
-//     run completes (for live observation, use a protocol-level hook such
-//     as RumorConfig.OnRound).
+//     run completes — once per calendar bucket for clockless AsyncConfig
+//     runs (for live observation, use a protocol-level hook such as
+//     RumorConfig.OnRound).
+//   - WithObserver attaches the instrumentation layer (see Observability
+//     below): Report.Metrics is filled with phase-timing and gauge
+//     aggregates, and the observer can export a Chrome trace timeline.
 //
 // All protocols emit the same Report (rounds, per-round trajectory and
 // message counts, totals, worst per-node loads, wall time), with the
@@ -199,6 +203,29 @@
 // (spec, seed) and bit-identical for every WithWorkers shard count.
 // WithNet is rejected for async runs: flight time is the protocol's own
 // Latency axis, not a pluggable round-grain model.
+//
+// # Observability: read-only by contract
+//
+// WithObserver threads a passive instrumentation sink (internal/obs)
+// through all three execution runtimes. Each runtime registers a track;
+// its shards record per-(round, shard, phase) wall-clock spans into
+// lock-free per-shard arenas that the coordinator merges at the round
+// barrier, and the coordinator samples per-round gauges — messages routed
+// and dropped, clamped delays, calendar-queue depth, scratch bytes, budget
+// tokens in flight. Run aggregates everything into Report.Metrics; the
+// observer also writes the full timeline as Chrome trace_event JSON
+// (about:tracing / ui.perfetto.dev) and renders plain-text summary tables.
+// The CLIs expose all of it as -trace, -metrics and -pprof flags.
+//
+// The determinism contract: observers are read-only. They never touch a
+// random stream, never reorder message exchanges, and never feed anything
+// back into protocol state — so an instrumented run is bit-identical to an
+// uninstrumented one, at every worker count, with the trajectory-digest
+// identity pinned by tests and by a CI smoke comparing datebench digests
+// with and without -trace. A disabled observer (the nil default) costs the
+// runtimes one nil check per phase: every recording method is
+// nil-receiver-safe and the time.Now calls are gated on the observer being
+// attached.
 //
 // # The repetition-parallel experiment harness
 //

@@ -58,8 +58,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
+	"unsafe"
 
 	"repro/internal/exch"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/simnet"
@@ -106,6 +109,10 @@ type Config struct {
 	// Shards is the worker count; any value produces bit-identical results.
 	// 0 selects GOMAXPROCS; negative is an error.
 	Shards int
+	// Obs, when non-nil, receives per-(bucket, shard, phase) spans and
+	// per-bucket gauges. Observers are read-only: attaching one never
+	// changes any result (the determinism suites pin this).
+	Obs *obs.Observer
 }
 
 // cursorSource adapts the flat per-peer xoshiro state array as an
@@ -181,6 +188,17 @@ type Runtime struct {
 
 	stats simnet.Stats
 	fired int64
+
+	// Instrumentation (nil when no observer is attached; the hot path then
+	// pays a nil check and nothing else). arenas[w] is shard w's span sink,
+	// merged into tr at the bucket barrier; the gauges sample the calendar
+	// once per bucket from the coordinator.
+	tr              *obs.Track
+	arenas          []*obs.Arena
+	gSent, gDropped *obs.Gauge
+	gClamped        *obs.Gauge
+	gFired, gQueue  *obs.Gauge
+	gScratch        *obs.Gauge
 }
 
 // New builds a runtime. Peer clocks are seeded (and their first gaps drawn)
@@ -260,6 +278,19 @@ func New(cfg Config) (*Runtime, error) {
 		sh.stream = rng.NewWithSource(&sh.src)
 		sh.emit = rt.makeEmit(sh)
 	}
+	if cfg.Obs != nil {
+		rt.tr = cfg.Obs.Track("async", shards)
+		rt.arenas = make([]*obs.Arena, shards)
+		for w := range rt.arenas {
+			rt.arenas[w] = rt.tr.Arena(w)
+		}
+		rt.gSent = rt.tr.Gauge("sent")
+		rt.gDropped = rt.tr.Gauge("dropped")
+		rt.gClamped = rt.tr.Gauge("clamped")
+		rt.gFired = rt.tr.Gauge("fired")
+		rt.gQueue = rt.tr.Gauge("calendar_depth")
+		rt.gScratch = rt.tr.Gauge("scratch_bytes")
+	}
 	rt.fanOut(func(w int) {
 		sh := &rt.sh[w]
 		lo, hi := rt.part.Range(w)
@@ -324,6 +355,53 @@ func (rt *Runtime) fanOut(f func(w int)) {
 	par.Do(rt.shards, f)
 }
 
+// fanOutSpan is fanOut with each shard's work recorded as a phase span in
+// the shard's private arena. With no observer it is exactly fanOut — the
+// disabled path costs one nil check per phase.
+func (rt *Runtime) fanOutSpan(p obs.Phase, f func(w int)) {
+	if rt.arenas == nil {
+		rt.fanOut(f)
+		return
+	}
+	bucket := rt.bucket
+	rt.fanOut(func(w int) {
+		t0 := time.Now()
+		f(w)
+		rt.arenas[w].Record(bucket, p, t0)
+	})
+}
+
+// bucketSample feeds the per-bucket gauges and merges the shard arenas into
+// the track; called by the coordinator at the end of route, where the
+// shards are quiescent. No-op without an observer.
+func (rt *Runtime) bucketSample() {
+	if rt.tr == nil {
+		return
+	}
+	rt.gSent.Sample(rt.bucket, rt.stats.Sent)
+	rt.gDropped.Sample(rt.bucket, rt.stats.Dropped)
+	rt.gClamped.Sample(rt.bucket, rt.stats.Clamped)
+	rt.gFired.Sample(rt.bucket, rt.fired)
+	depth := 0
+	for _, s := range rt.slots {
+		depth += len(s)
+	}
+	rt.gQueue.Sample(rt.bucket, int64(depth))
+	rt.gScratch.Sample(rt.bucket, rt.scratchBytes())
+	rt.tr.Barrier()
+}
+
+// scratchBytes estimates the runtime's reusable buffer footprint: the
+// calendar ring, the delivered view and the offset table.
+func (rt *Runtime) scratchBytes() int64 {
+	const msgBytes = int64(unsafe.Sizeof(simnet.Message{}))
+	b := int64(cap(rt.sorted))*msgBytes + int64(cap(rt.sortedIdx))*4 + int64(cap(rt.inOff))*4
+	for _, s := range rt.slots {
+		b += int64(cap(s)) * msgBytes
+	}
+	return b
+}
+
 // RunBuckets executes the given number of calendar buckets and returns the
 // cumulative traffic statistics. It may be called repeatedly; in-flight
 // messages and pending firings carry over between calls.
@@ -360,7 +438,7 @@ func (rt *Runtime) deliver() {
 	}
 
 	bufPart := exch.Partition{N: len(buf), Parts: rt.shards}
-	rt.fanOut(func(w int) {
+	rt.fanOutSpan(obs.PhaseDeliver, func(w int) {
 		rt.inbox.ClearWorker(w)
 		lo, hi := bufPart.Range(w)
 		for k := lo; k < hi; k++ {
@@ -375,7 +453,7 @@ func (rt *Runtime) deliver() {
 	}
 	rt.sorted = rt.sorted[:len(buf)]
 	rt.sortedIdx = rt.sortedIdx[:len(buf)]
-	rt.fanOut(func(o int) {
+	rt.fanOutSpan(obs.PhaseDeliver, func(o int) {
 		end := rt.inbox.Fill(o, rt.inOff, rt.sortedIdx)
 		for j := rt.inbox.Base(o); j < end; j++ {
 			rt.sorted[j] = buf[rt.sortedIdx[j]]
@@ -396,7 +474,7 @@ func (rt *Runtime) deliver() {
 func (rt *Runtime) stepAll() {
 	bStart := float64(rt.bucket) * rt.width
 	bEnd := bStart + rt.width
-	rt.fanOut(func(w int) {
+	rt.fanOutSpan(obs.PhaseStep, func(w int) {
 		sh := &rt.sh[w]
 		lo, hi := rt.part.Range(w)
 		for i := lo; i < hi; i++ {
@@ -440,7 +518,7 @@ func (rt *Runtime) route() {
 		rt.slots[slot] = growMessages(rt.slots[slot], acc)
 	}
 	if work {
-		rt.fanOut(func(w int) {
+		rt.fanOutSpan(obs.PhaseRoute, func(w int) {
 			for d := 1; d <= rt.maxDelta; d++ {
 				slot := (rt.bucket + d) % ring
 				rt.outbox.Flush(w, d, rt.slots[slot])
@@ -461,6 +539,7 @@ func (rt *Runtime) route() {
 			}
 		}
 	}
+	rt.bucketSample()
 }
 
 // growMessages returns s resliced to length size, preserving its contents

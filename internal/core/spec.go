@@ -78,6 +78,8 @@ func (c HandshakeConfig) Execute(o *run.Options) (run.Report, error) {
 	rep.Rounds = rounds
 	rep.Completed = true // fixed-length run: finishing is completing
 	rep.Messages = st.Sent
+	rep.Dropped = st.Dropped
+	rep.Clamped = st.Clamped
 	rep.Detail = st
 	return rep, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/run"
 	"repro/internal/simnet"
@@ -80,6 +81,9 @@ type AsyncOptions struct {
 	// Shards is the runtime's worker count (0 = GOMAXPROCS); every value is
 	// bit-identical.
 	Shards int
+	// Obs, when non-nil, receives phase spans and per-bucket gauges from the
+	// runtime. Observers are read-only: attaching one never changes results.
+	Obs *obs.Observer
 }
 
 // asyncRates maps a heterogeneity profile to per-peer clock rates: peer i
@@ -143,6 +147,7 @@ func RunAsync(cfg AsyncConfig, o AsyncOptions) (AsyncResult, error) {
 		BucketWidth: width,
 		Latency:     cfg.Latency,
 		Shards:      o.Shards,
+		Obs:         o.Obs,
 		Fire: func(peer, fire int, t float64, s *rng.Stream, emit func(simnet.Message)) {
 			bit := int64(0)
 			if informed[peer] {
@@ -210,6 +215,7 @@ func (c AsyncConfig) Execute(o *run.Options) (run.Report, error) {
 	res, err := RunAsync(c, AsyncOptions{
 		Seed:   run.SeedFor(o.Seed, run.DomainAsync),
 		Shards: o.Workers,
+		Obs:    o.Obs,
 	})
 	if err != nil {
 		return run.Report{}, err
@@ -220,6 +226,8 @@ func (c AsyncConfig) Execute(o *run.Options) (run.Report, error) {
 		Trajectory: res.History,
 		Sent:       res.SentHistory,
 		Messages:   res.Traffic.Sent,
+		Dropped:    res.Traffic.Dropped,
+		Clamped:    res.Traffic.Clamped,
 		Detail:     res,
 	}, nil
 }

@@ -18,9 +18,11 @@ package gossip
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -141,7 +143,51 @@ type stepFunc func(st *state, s *rng.Stream)
 // by exactly one value per dating round regardless of how the round is
 // parallelized.
 func Run(cfg Config, s *rng.Stream) (Result, error) {
-	return runBudgeted(cfg, s, nil, 0)
+	return runBudgeted(cfg, s, nil, 0, nil)
+}
+
+// roundObs is the dating loop's instrumentation: a whole-round span per
+// dating round plus the per-round gauges (messages moved, budget tokens in
+// flight beyond the implicit ones). A nil roundObs (observation off) makes
+// every method a no-op without any time.Now call on the round path.
+type roundObs struct {
+	tr      *obs.Track
+	arena   *obs.Arena
+	gSent   *obs.Gauge
+	gBudget *obs.Gauge
+}
+
+func newRoundObs(tr *obs.Track) *roundObs {
+	if tr == nil {
+		return nil
+	}
+	return &roundObs{
+		tr:      tr,
+		arena:   tr.Arena(0),
+		gSent:   tr.Gauge("sent"),
+		gBudget: tr.Gauge("budget_in_flight"),
+	}
+}
+
+// span times f as the given round's whole-round phase.
+func (ro *roundObs) span(round int, f func()) {
+	if ro == nil {
+		f()
+		return
+	}
+	t0 := time.Now()
+	f()
+	ro.arena.Record(round, obs.PhaseRound, t0)
+}
+
+// sample records the round's gauges and publishes the round's spans.
+func (ro *roundObs) sample(round, sent int, b *par.Budget) {
+	if ro == nil {
+		return
+	}
+	ro.gSent.Sample(round, int64(sent))
+	ro.gBudget.Sample(round, int64(b.InFlight()))
+	ro.tr.Barrier()
 }
 
 // runBudgeted is Run with an optional shared worker budget and pipelining
@@ -152,8 +198,10 @@ func Run(cfg Config, s *rng.Stream) (Result, error) {
 // double-buffered engine (core.RunRoundsSeeded) when the algorithm allows
 // it — Dating without crashes; crashing runs need round r's deaths before
 // round r+1's scatter, exactly the barrier pipelining removes — and is
-// bit-identical to the sequential schedule either way.
-func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int) (Result, error) {
+// bit-identical to the sequential schedule either way. tr, when non-nil,
+// receives a whole-round span and the per-round gauges of every dating
+// round; observation is read-only and never touches the run stream.
+func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int, tr *obs.Track) (Result, error) {
 	n := cfg.n()
 	if n <= 0 {
 		return Result{}, fmt.Errorf("gossip: config needs N or a Profile")
@@ -224,8 +272,9 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int) (Result
 		st.alive[i] = true
 	}
 
+	ro := newRoundObs(tr)
 	if svc != nil && pipeline > 1 && cfg.CrashProb == 0 {
-		return runDatingPipelined(cfg, svc, s, b, pipeline, maxRounds, st)
+		return runDatingPipelined(cfg, svc, s, b, pipeline, maxRounds, st, ro)
 	}
 
 	var res Result
@@ -239,9 +288,11 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int) (Result
 			}
 		}
 		st.reset()
-		step(st, s)
+		ro.span(round, func() { step(st, s) })
 		st.informed, st.next = st.next, st.informed
-		if roundEpilogue(&cfg, st, &res, round) {
+		done := roundEpilogue(&cfg, st, &res, round)
+		ro.sample(round, res.SentHistory[len(res.SentHistory)-1], b)
+		if done {
 			res.Completed = true
 			break
 		}
@@ -256,7 +307,7 @@ func runBudgeted(cfg Config, s *rng.Stream, b *par.Budget, pipeline int) (Result
 // round r+1's scatter with round r's matching. Completion mid-batch simply
 // discards the remaining results; nothing after the loop reads the stream,
 // so the histories are bit-identical to the sequential schedule.
-func runDatingPipelined(cfg Config, svc *core.Service, s *rng.Stream, b *par.Budget, depth, maxRounds int, st *state) (Result, error) {
+func runDatingPipelined(cfg Config, svc *core.Service, s *rng.Stream, b *par.Budget, depth, maxRounds int, st *state, ro *roundObs) (Result, error) {
 	var res Result
 	seeds := make([]uint64, 0, depth)
 	round := 1
@@ -277,16 +328,23 @@ func runDatingPipelined(cfg Config, svc *core.Service, s *rng.Stream, b *par.Bud
 				panic(fmt.Sprintf("gossip: pipelined dating rounds failed: %v", err))
 			}
 		}
-		if b != nil {
-			b.Use(0, runBatch)
-		} else {
-			runBatch(1)
-		}
+		// The batch span covers all k pipelined rounds; it is attributed to
+		// the batch's first round so trace viewers line it up with the gauge
+		// samples of the rounds it produced.
+		ro.span(round, func() {
+			if b != nil {
+				b.Use(0, runBatch)
+			} else {
+				runBatch(1)
+			}
+		})
 		for _, rr := range batch {
 			st.reset()
 			applyDates(st, rr.Dates)
 			st.informed, st.next = st.next, st.informed
-			if roundEpilogue(&cfg, st, &res, round) {
+			done := roundEpilogue(&cfg, st, &res, round)
+			ro.sample(round, res.SentHistory[len(res.SentHistory)-1], b)
+			if done {
 				res.Completed = true
 				return res, nil
 			}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 )
@@ -66,6 +67,10 @@ type LiveOptions struct {
 	// network round into the step phase. Bit-identical to the sequential
 	// schedule; ignored by the goroutine engine.
 	Pipeline int
+	// Obs, when non-nil, receives phase spans and per-round gauges from the
+	// sharded engine. Observers are read-only: attaching one never changes
+	// results. Ignored by the goroutine engine.
+	Obs *obs.Observer
 }
 
 // LiveResult reports a message-level spreading run.
@@ -172,6 +177,7 @@ func RunLive(cfg LiveConfig, o LiveOptions) (LiveResult, error) {
 			Step:   step,
 			Shards: o.Shards,
 			Net:    o.Net,
+			Obs:    o.Obs,
 		})
 		if err != nil {
 			return LiveResult{}, err

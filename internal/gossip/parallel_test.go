@@ -20,7 +20,7 @@ func runWith(t *testing.T, cfg Config, seed uint64, workers, pipeline int) Resul
 			t.Fatal(err)
 		}
 	}
-	res, err := runBudgeted(cfg, rng.New(seed), b, pipeline)
+	res, err := runBudgeted(cfg, rng.New(seed), b, pipeline, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,8 @@ func (c Config) Protocol() string { return "rumor" }
 // double-buffered engine. Trajectory is the informed-node history; Detail
 // the full Result.
 func (c Config) Execute(o *run.Options) (run.Report, error) {
-	res, err := runBudgeted(c, run.StreamFor(o.Seed, run.DomainRumor), o.Budget, o.Pipeline)
+	res, err := runBudgeted(c, run.StreamFor(o.Seed, run.DomainRumor), o.Budget, o.Pipeline,
+		o.Obs.Track("rumor", 1))
 	if err != nil {
 		return run.Report{}, err
 	}
@@ -73,6 +74,7 @@ func (c LiveConfig) Execute(o *run.Options) (run.Report, error) {
 		Seed:     run.SeedFor(o.Seed, run.DomainLive),
 		Net:      o.Net,
 		Pipeline: o.Pipeline,
+		Obs:      o.Obs,
 	}
 	switch o.Engine {
 	case run.EngineGoroutine:
@@ -92,6 +94,8 @@ func (c LiveConfig) Execute(o *run.Options) (run.Report, error) {
 		Trajectory: res.History,
 		Sent:       res.SentHistory,
 		Messages:   res.Traffic.Sent,
+		Dropped:    res.Traffic.Dropped,
+		Clamped:    res.Traffic.Clamped,
 		MaxInLoad:  res.MaxInPayloads,
 		Detail:     res,
 	}, nil

@@ -64,8 +64,11 @@ package live
 import (
 	"fmt"
 	"runtime"
+	"time"
+	"unsafe"
 
 	"repro/internal/exch"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/simnet"
@@ -119,6 +122,10 @@ type Config struct {
 	Shards int
 	// Net decides message fates; nil is the paper's perfect-sync model.
 	Net NetModel
+	// Obs, when non-nil, receives per-(round, shard, phase) spans and
+	// per-round gauges. Observers are read-only: attaching one never
+	// changes any result (the determinism suites pin this).
+	Obs *obs.Observer
 }
 
 // cursorSource adapts the flat per-peer xoshiro state array as an
@@ -188,6 +195,16 @@ type Runtime struct {
 	inOff     []int32
 
 	stats simnet.Stats
+
+	// Instrumentation (nil when no observer is attached; the hot path then
+	// pays a nil check and nothing else). arenas[w] is shard w's span sink,
+	// merged into tr at the route barrier; the gauges sample the runtime's
+	// counters once per round from the coordinator.
+	tr                  *obs.Track
+	arenas              []*obs.Arena
+	gSent, gDropped     *obs.Gauge
+	gClamped, gInFlight *obs.Gauge
+	gScratch            *obs.Gauge
 }
 
 // New builds a runtime. Peer streams are seeded in parallel across the
@@ -244,6 +261,18 @@ func New(cfg Config) (*Runtime, error) {
 		sh.stream = rng.NewWithSource(&sh.src)
 		sh.netStream = rng.NewWithSource(&sh.netGen)
 		sh.emit = rt.makeEmit(sh)
+	}
+	if cfg.Obs != nil {
+		rt.tr = cfg.Obs.Track("live", shards)
+		rt.arenas = make([]*obs.Arena, shards)
+		for w := range rt.arenas {
+			rt.arenas[w] = rt.tr.Arena(w)
+		}
+		rt.gSent = rt.tr.Gauge("sent")
+		rt.gDropped = rt.tr.Gauge("dropped")
+		rt.gClamped = rt.tr.Gauge("clamped")
+		rt.gInFlight = rt.tr.Gauge("queue_depth")
+		rt.gScratch = rt.tr.Gauge("scratch_bytes")
 	}
 	rt.fanOut(func(w int) {
 		lo, hi := rt.part.Range(w)
@@ -312,6 +341,52 @@ func (rt *Runtime) fanOut(f func(w int)) {
 	par.Do(rt.shards, f)
 }
 
+// fanOutSpan is fanOut with each shard's work recorded as a phase span in
+// the shard's private arena. With no observer it is exactly fanOut — the
+// disabled path costs one nil check per phase.
+func (rt *Runtime) fanOutSpan(p obs.Phase, f func(w int)) {
+	if rt.arenas == nil {
+		rt.fanOut(f)
+		return
+	}
+	round := rt.round
+	rt.fanOut(func(w int) {
+		t0 := time.Now()
+		f(w)
+		rt.arenas[w].Record(round, p, t0)
+	})
+}
+
+// roundSample feeds the per-round gauges and merges the shard arenas into
+// the track; called by the coordinator at the end of route, where the
+// shards are quiescent. No-op without an observer.
+func (rt *Runtime) roundSample() {
+	if rt.tr == nil {
+		return
+	}
+	rt.gSent.Sample(rt.round, rt.stats.Sent)
+	rt.gDropped.Sample(rt.round, rt.stats.Dropped)
+	rt.gClamped.Sample(rt.round, rt.stats.Clamped)
+	depth := 0
+	for _, s := range rt.slots {
+		depth += len(s)
+	}
+	rt.gInFlight.Sample(rt.round, int64(depth))
+	rt.gScratch.Sample(rt.round, rt.scratchBytes())
+	rt.tr.Barrier()
+}
+
+// scratchBytes estimates the runtime's reusable buffer footprint: the
+// delivery ring, the delivered view and the two exchanges' chunk capacity.
+func (rt *Runtime) scratchBytes() int64 {
+	const msgBytes = int64(unsafe.Sizeof(simnet.Message{}))
+	b := int64(cap(rt.sorted))*msgBytes + int64(cap(rt.sortedIdx))*4 + int64(cap(rt.inOff))*4
+	for _, s := range rt.slots {
+		b += int64(cap(s)) * msgBytes
+	}
+	return b
+}
+
 // Run executes the given number of rounds and returns the cumulative
 // traffic statistics. It may be called repeatedly; in-flight messages carry
 // over between calls.
@@ -338,7 +413,9 @@ func (rt *Runtime) RunPipelined(rounds int) simnet.Stats {
 			// Empty round: nothing to sort, step from the zeroed offsets.
 			rt.stepAll()
 		} else {
-			rt.fanOut(func(o int) {
+			// The fused fill+step is recorded as a step span: the pipelined
+			// schedule has no separate deliver phase to time.
+			rt.fanOutSpan(obs.PhaseStep, func(o int) {
 				end := rt.fillOwner(o)
 				sh := &rt.sh[o]
 				lo, hi := rt.part.Range(o)
@@ -385,7 +462,7 @@ func (rt *Runtime) deliverRecord() bool {
 	}
 
 	bufPart := exch.Partition{N: len(buf), Parts: rt.shards}
-	rt.fanOut(func(w int) {
+	rt.fanOutSpan(obs.PhaseDeliver, func(w int) {
 		rt.inbox.ClearWorker(w)
 		lo, hi := bufPart.Range(w)
 		for k := lo; k < hi; k++ {
@@ -433,14 +510,14 @@ func (rt *Runtime) deliver() {
 	if !rt.deliverRecord() {
 		return
 	}
-	rt.fanOut(func(o int) { rt.fillOwner(o) })
+	rt.fanOutSpan(obs.PhaseDeliver, func(o int) { rt.fillOwner(o) })
 	rt.deliverEpilogue()
 }
 
 // stepAll advances every peer one round: shard w walks its peer range in
 // ascending order, pointing the shared cursor stream at each peer.
 func (rt *Runtime) stepAll() {
-	rt.fanOut(func(w int) {
+	rt.fanOutSpan(obs.PhaseStep, func(w int) {
 		sh := &rt.sh[w]
 		lo, hi := rt.part.Range(w)
 		for i := lo; i < hi; i++ {
@@ -474,7 +551,7 @@ func (rt *Runtime) route() {
 		rt.slots[slot] = growMessages(rt.slots[slot], acc)
 	}
 	if work {
-		rt.fanOut(func(w int) {
+		rt.fanOutSpan(obs.PhaseRoute, func(w int) {
 			for d := 1; d <= rt.maxDelay; d++ {
 				slot := (rt.round + d) % ring
 				rt.outbox.Flush(w, d, rt.slots[slot])
@@ -496,6 +573,7 @@ func (rt *Runtime) route() {
 			}
 		}
 	}
+	rt.roundSample()
 }
 
 // growMessages returns s resliced to length size, preserving its contents

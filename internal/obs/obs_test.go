@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	tr := o.Track("x", 4)
+	if tr != nil {
+		t.Fatal("nil observer handed out a non-nil track")
+	}
+	// Every recording call on the nil chain must be a no-op, not a panic:
+	// this is the disabled path the runtimes thread unconditionally.
+	tr.Arena(2).Record(1, PhaseStep, time.Now())
+	tr.Gauge("g").Sample(1, 42)
+	tr.Barrier()
+	if tr.Spans() != nil {
+		t.Fatal("nil track returned spans")
+	}
+	if tr.Name() != "" {
+		t.Fatal("nil track has a name")
+	}
+	if o.Mark() != 0 {
+		t.Fatal("nil observer Mark != 0")
+	}
+	if o.Metrics() != nil {
+		t.Fatal("nil observer produced metrics")
+	}
+	if o.Summary() != "" {
+		t.Fatal("nil observer produced a summary")
+	}
+}
+
+func TestSpansMergeAtBarrier(t *testing.T) {
+	o := NewObserver()
+	tr := o.Track("rt", 2)
+	start := time.Now()
+	tr.Arena(0).Record(1, PhaseDeliver, start)
+	tr.Arena(1).Record(1, PhaseStep, start)
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("spans visible before barrier: %d", got)
+	}
+	tr.Barrier()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("after barrier: %d spans, want 2", len(spans))
+	}
+	if spans[0].Shard != 0 || spans[0].Phase != PhaseDeliver || spans[0].Round != 1 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Shard != 1 || spans[1].Phase != PhaseStep {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+	// Arenas were handed off, not duplicated: a second barrier adds nothing.
+	tr.Barrier()
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("double barrier duplicated spans: %d", got)
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	o := NewObserver()
+	tr := o.Track("rt", 2)
+	base := time.Now().Add(-time.Second)
+	tr.Arena(0).Record(1, PhaseStep, base)
+	tr.Arena(1).Record(1, PhaseStep, base)
+	tr.Arena(0).Record(1, PhaseRoute, base)
+	tr.Barrier()
+	g := tr.Gauge("sent")
+	g.Sample(1, 10)
+	g.Sample(2, 30)
+	g.Sample(3, 20)
+
+	m := o.Metrics()
+	if m == nil || len(m.Phases) != 2 || len(m.Gauges) != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	step := m.Phases[0]
+	if step.Phase != "step" || step.Track != "rt" || step.Spans != 2 || step.Shards != 2 {
+		t.Fatalf("step metric = %+v", step)
+	}
+	if step.TotalSec <= 0 || step.MeanSec <= 0 || step.MaxSec < step.MeanSec {
+		t.Fatalf("step timing not aggregated: %+v", step)
+	}
+	if route := m.Phases[1]; route.Phase != "route" || route.Spans != 1 {
+		t.Fatalf("route metric = %+v", route)
+	}
+	gm := m.Gauges[0]
+	if gm.Name != "sent" || gm.Samples != 3 || gm.Last != 20 || gm.Min != 10 || gm.Max != 30 {
+		t.Fatalf("gauge metric = %+v", gm)
+	}
+	if s := o.Summary(); !strings.Contains(s, "step") || !strings.Contains(s, "sent") {
+		t.Fatalf("summary missing rows:\n%s", s)
+	}
+}
+
+func TestMetricsSinceMark(t *testing.T) {
+	o := NewObserver()
+	first := o.Track("a", 1)
+	first.Arena(0).Record(1, PhaseRound, time.Now())
+	first.Barrier()
+	mark := o.Mark()
+	second := o.Track("b", 1)
+	second.Arena(0).Record(1, PhaseRound, time.Now())
+	second.Barrier()
+
+	m := o.MetricsSince(mark)
+	if len(m.Phases) != 1 || m.Phases[0].Track != "b" {
+		t.Fatalf("MetricsSince(mark) = %+v, want track b only", m)
+	}
+	if all := o.Metrics(); len(all.Phases) != 2 {
+		t.Fatalf("Metrics() = %+v, want both tracks", all)
+	}
+}
+
+func TestGaugeRegistryReuses(t *testing.T) {
+	o := NewObserver()
+	tr := o.Track("rt", 1)
+	if tr.Gauge("x") != tr.Gauge("x") {
+		t.Fatal("same name produced distinct gauges")
+	}
+	if tr.Gauge("x") == tr.Gauge("y") {
+		t.Fatal("distinct names share a gauge")
+	}
+}
+
+func TestWriteTraceIsValidChromeJSON(t *testing.T) {
+	o := NewObserver()
+	tr := o.Track("rt", 2)
+	base := time.Now() // after the epoch, so Ts >= 0
+	time.Sleep(time.Millisecond)
+	tr.Arena(0).Record(1, PhaseDeliver, base)
+	tr.Arena(1).Record(1, PhaseStep, base)
+	tr.Barrier()
+	tr.Gauge("depth").Sample(1, 7)
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var phases = map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	// One process_name + two thread_name metadata, two spans, one counter.
+	if phases["M"] != 3 || phases["X"] != 2 || phases["C"] != 1 {
+		t.Fatalf("event mix = %v, want M:3 X:2 C:1", phases)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && (ev.Ts < 0 || ev.Dur <= 0) {
+			t.Fatalf("span with non-positive timing: %+v", ev)
+		}
+		if ev.Ph == "C" && ev.Args["depth"] != float64(7) {
+			t.Fatalf("counter args = %v", ev.Args)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseDeliver: "deliver", PhaseStep: "step",
+		PhaseRoute: "route", PhaseRound: "round",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Fatalf("Phase(%d).String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Phase(250).String() != "phase?" {
+		t.Fatalf("out-of-range phase = %q", Phase(250).String())
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+// Chrome trace_event export: the observer's spans and gauges written as a
+// trace_event JSON file loadable in about:tracing or https://ui.perfetto.dev.
+// Each track becomes one process (pid = registration order), each shard one
+// thread, each span a complete ("X") event and each gauge a counter ("C")
+// series. Events are emitted one per line inside the traceEvents array, so
+// the file doubles as a greppable JSONL timeline.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// traceEvent is one trace_event record; timestamps and durations are in
+// microseconds since the observer epoch, per the trace_event spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usec converts a duration to trace_event microseconds.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteTrace writes every barrier-merged span and gauge sample of the
+// observer as a Chrome trace_event JSON document.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(first *bool, ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !*first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		*first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	first := true
+	for _, t := range o.snapshotTracks(0) {
+		if err := enc(&first, traceEvent{
+			Name: "process_name", Ph: "M", Pid: t.pid,
+			Args: map[string]any{"name": t.name},
+		}); err != nil {
+			return err
+		}
+		for w := range t.arenas {
+			if err := enc(&first, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: t.pid, Tid: w,
+				Args: map[string]any{"name": fmt.Sprintf("shard %d", w)},
+			}); err != nil {
+				return err
+			}
+		}
+		for _, sp := range t.Spans() {
+			if err := enc(&first, traceEvent{
+				Name: sp.Phase.String(), Ph: "X", Pid: t.pid, Tid: int(sp.Shard),
+				Ts: usec(sp.Start), Dur: usec(sp.Dur),
+				Args: map[string]any{"round": sp.Round},
+			}); err != nil {
+				return err
+			}
+		}
+		t.mu.Lock()
+		gauges := append([]*Gauge(nil), t.gauges...)
+		t.mu.Unlock()
+		for _, g := range gauges {
+			for _, s := range g.snapshot() {
+				if err := enc(&first, traceEvent{
+					Name: g.name, Ph: "C", Pid: t.pid,
+					Ts:   usec(s.TS),
+					Args: map[string]any{g.name: s.Value},
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the observer's timeline to path (see WriteTrace).
+func (o *Observer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -54,6 +54,17 @@ func (b *Budget) Total() int {
 	return b.total
 }
 
+// InFlight returns how many of the budget's spare tokens are currently
+// acquired — worker tokens in flight beyond the implicit per-context ones.
+// Always within [0, Total()-1]; 0 for a nil budget. This is the value the
+// instrumentation layer samples as the budget_in_flight gauge.
+func (b *Budget) InFlight() int {
+	if b == nil {
+		return 0
+	}
+	return b.total - 1 - int(b.spare.Load())
+}
+
 // TryAcquire takes up to want spare tokens without blocking and returns how
 // many it got (possibly 0). The grab is atomic: concurrent callers never
 // split a request, so whoever wins the race gets everything available up to

@@ -82,6 +82,80 @@ func TestBudgetOverReleasePanics(t *testing.T) {
 	b.Release(2)
 }
 
+func TestBudgetInFlight(t *testing.T) {
+	var nilB *Budget
+	if nilB.InFlight() != 0 {
+		t.Fatalf("nil InFlight = %d, want 0", nilB.InFlight())
+	}
+	b, _ := NewBudget(4)
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("idle InFlight = %d, want 0", got)
+	}
+	got := b.TryAcquire(2)
+	if got != 2 || b.InFlight() != 2 {
+		t.Fatalf("after TryAcquire(2): got %d tokens, InFlight = %d", got, b.InFlight())
+	}
+	b.Release(2)
+	if b.InFlight() != 0 {
+		t.Fatalf("after release: InFlight = %d, want 0", b.InFlight())
+	}
+}
+
+// TestBudgetInFlightStorm hammers TryAcquire/Release from many goroutines —
+// far more than the budget is wide — while a sampler watches InFlight, the
+// value the instrumentation layer exports as the budget_in_flight gauge.
+// The invariants: InFlight never leaves [0, Total()-1] (tokens in flight
+// never exceed the pool width), and the storm drains back to exactly 0.
+// Run under -race this also proves the counter involves no torn reads.
+func TestBudgetInFlightStorm(t *testing.T) {
+	const total = 4
+	const goroutines = 16
+	b, _ := NewBudget(total)
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if f := b.InFlight(); f < 0 || f > total-1 {
+				t.Errorf("InFlight = %d outside [0, %d]", f, total-1)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := b.TryAcquire(1 + (g+i)%total)
+				if f := b.InFlight(); f < k || f > total-1 {
+					t.Errorf("holding %d tokens, InFlight = %d", k, f)
+					b.Release(k)
+					return
+				}
+				b.Release(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if f := b.InFlight(); f != 0 {
+		t.Fatalf("storm drained, InFlight = %d, want 0", f)
+	}
+	if got := b.TryAcquire(total); got != total-1 {
+		t.Fatalf("storm leaked tokens: TryAcquire(%d) = %d, want %d", total, got, total-1)
+	}
+	b.Release(total - 1)
+}
+
 func TestBudgetConcurrentNeverOversubscribes(t *testing.T) {
 	const total = 4
 	b, _ := NewBudget(total)

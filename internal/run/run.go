@@ -43,9 +43,11 @@ package run
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -114,8 +116,15 @@ type Options struct {
 	// Trace receives the run's per-round progress, one call per protocol
 	// round in round order with the trajectory value of that round. Calls
 	// are a replay of the recorded trajectory after the protocol finishes
-	// (identical semantics for every protocol), not a live feed.
+	// (identical semantics for every protocol), not a live feed. For
+	// bucketed protocols (AsyncConfig) the round number is the 1-based
+	// calendar bucket index.
 	Trace func(round, progress int)
+	// Obs, when non-nil, receives the run's instrumentation: phase spans
+	// and per-round gauges from every runtime the protocol constructs.
+	// Observers are read-only — attaching one never changes any result —
+	// and Run fills Report.Metrics from the tracks the run registered.
+	Obs *obs.Observer
 }
 
 // Option mutates Options; the With* constructors are the public vocabulary.
@@ -160,6 +169,29 @@ func WithTrace(fn func(round, progress int)) Option { return func(o *Options) { 
 // run's inner rounds soak up cores its other jobs are done with.
 func WithBudget(b *par.Budget) Option { return func(o *Options) { o.Budget = b } }
 
+// WithObserver attaches an instrumentation observer: every runtime the
+// protocol constructs registers phase-span tracks and per-round gauges on
+// it, and the run's Report carries their aggregate in Metrics. Observers
+// are strictly read-only — they never touch a random stream or reorder an
+// exchange — so an instrumented run is bit-identical to an uninstrumented
+// one (the CI instrumentation-identity smoke pins this at several shard
+// counts).
+func WithObserver(o *obs.Observer) Option { return func(opts *Options) { opts.Obs = o } }
+
+// defaultObserver is the process-wide fallback observer consulted when a
+// run carries no explicit WithObserver. It exists for the CLIs: hetsim and
+// datebench drive runs through harness code whose signatures do not thread
+// an observer, and -trace/-metrics attach one here instead. Because
+// observers are read-only, the global can never change a result.
+var defaultObserver atomic.Pointer[obs.Observer]
+
+// SetDefaultObserver installs (or, with nil, removes) the process-wide
+// fallback observer.
+func SetDefaultObserver(o *obs.Observer) { defaultObserver.Store(o) }
+
+// DefaultObserver returns the process-wide fallback observer, or nil.
+func DefaultObserver() *obs.Observer { return defaultObserver.Load() }
+
 // Report is the unified outcome every protocol emits: enough for the sim
 // registry, the CLIs and the BENCH_*.json writers to consume any run
 // generically, with the protocol-native result preserved in Detail.
@@ -179,6 +211,13 @@ type Report struct {
 	Sent []int `json:"sent,omitempty"`
 	// Messages is the run's total message (or date) count.
 	Messages int64 `json:"messages"`
+	// Dropped / Clamped surface the message-engine traffic counters for
+	// protocols that run on one (live, async, handshake): messages lost to
+	// the network model or invalid destinations, and messages whose
+	// planned delay exceeded the engine's schedulable horizon (a NetModel
+	// whose Plan and MaxDelay disagree). Zero for round-abstract protocols.
+	Dropped int64 `json:"dropped,omitempty"`
+	Clamped int64 `json:"clamped,omitempty"`
 	// MaxInLoad / MaxOutLoad are the worst per-round per-node loads, for
 	// protocols that track bandwidth honesty (0 where untracked).
 	MaxInLoad  int `json:"max_in_load,omitempty"`
@@ -188,6 +227,10 @@ type Report struct {
 	// Seed and Workers echo the options for reproducibility records.
 	Seed    uint64 `json:"seed"`
 	Workers int    `json:"workers"`
+	// Metrics is the aggregated instrumentation of the run — phase
+	// wall-clock totals and per-round gauge summaries — when an observer
+	// was attached (WithObserver or the CLI default); nil otherwise.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
 	// Detail is the protocol-native result (gossip.Result, storage.Result,
 	// ...) for callers that need fields the unified shape does not carry.
 	Detail any `json:"-"`
@@ -230,6 +273,10 @@ func Run(spec Spec, opts ...Option) (Report, error) {
 		}
 		o.Budget = b
 	}
+	if o.Obs == nil {
+		o.Obs = defaultObserver.Load()
+	}
+	mark := o.Obs.Mark()
 	start := time.Now()
 	rep, err := spec.Execute(o)
 	if err != nil {
@@ -241,6 +288,9 @@ func Run(spec Spec, opts ...Option) (Report, error) {
 	rep.Wall = time.Since(start)
 	if rep.Rounds == 0 {
 		rep.Rounds = len(rep.Trajectory)
+	}
+	if o.Obs != nil {
+		rep.Metrics = o.Obs.MetricsSince(mark)
 	}
 	if o.Trace != nil {
 		for i, v := range rep.Trajectory {

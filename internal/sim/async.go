@@ -173,10 +173,14 @@ type AsyncBenchRow struct {
 // benchmark run a shard-determinism smoke test. Points carries the generic
 // Report-derived perf-trajectory records BENCH_async.json collects.
 type AsyncBenchResult struct {
-	N         int             `json:"n"`
-	Identical bool            `json:"identical_across_shards"`
-	Rows      []AsyncBenchRow `json:"rows"`
-	Points    []BenchPoint    `json:"points"`
+	N         int  `json:"n"`
+	Identical bool `json:"identical_across_shards"`
+	// TrajectoryDigest is the FNV-1a digest of the reference trajectory
+	// (see TrajectoryDigest): a pure function of (n, seed), whatever the
+	// shard count or instrumentation.
+	TrajectoryDigest string          `json:"trajectory_digest"`
+	Rows             []AsyncBenchRow `json:"rows"`
+	Points           []BenchPoint    `json:"points"`
 }
 
 // Table renders the benchmark in the repository's table shape.
@@ -228,6 +232,7 @@ func RunAsyncBench(n, shards int, seed uint64) (AsyncBenchResult, error) {
 		}
 		if i == 0 {
 			ref = rep.Trajectory
+			res.TrajectoryDigest = TrajectoryDigest(ref)
 		} else if !slices.Equal(rep.Trajectory, ref) {
 			res.Identical = false
 		}

@@ -149,10 +149,14 @@ type LiveBenchRow struct {
 // Points carries the generic Report-derived perf-trajectory records the
 // BENCH_live.json file collects.
 type LiveBenchResult struct {
-	N         int            `json:"n"`
-	Identical bool           `json:"identical_across_engines"`
-	Rows      []LiveBenchRow `json:"rows"`
-	Points    []BenchPoint   `json:"points"`
+	N         int  `json:"n"`
+	Identical bool `json:"identical_across_engines"`
+	// TrajectoryDigest is the FNV-1a digest of the reference trajectory
+	// (see TrajectoryDigest): a pure function of (n, seed), whatever the
+	// engine, shard count, pipelining or instrumentation.
+	TrajectoryDigest string         `json:"trajectory_digest"`
+	Rows             []LiveBenchRow `json:"rows"`
+	Points           []BenchPoint   `json:"points"`
 }
 
 // Table renders the benchmark in the repository's table shape.
@@ -235,6 +239,7 @@ func RunLiveBench(n, shards int, baseline bool, seed uint64) (LiveBenchResult, e
 		}
 		if i == 0 {
 			ref = rep.Trajectory
+			res.TrajectoryDigest = TrajectoryDigest(ref)
 		} else if !slices.Equal(rep.Trajectory, ref) {
 			res.Identical = false
 		}

@@ -42,6 +42,8 @@ type BenchPoint struct {
 	SecondsPerRound   float64 `json:"seconds_per_round"`
 	Messages          int64   `json:"messages"`
 	MessagesPerSecond float64 `json:"messages_per_second"`
+	Dropped           int64   `json:"dropped,omitempty"`
+	Clamped           int64   `json:"clamped,omitempty"`
 	PeakHeapSysMB     float64 `json:"peak_heap_sys_mb,omitempty"`
 	TotalAllocMB      float64 `json:"total_alloc_mb,omitempty"`
 }
@@ -64,6 +66,8 @@ func PointFromReport(n int, rep run.Report) BenchPoint {
 		Completed: rep.Completed,
 		Seconds:   rep.Wall.Seconds(),
 		Messages:  rep.Messages,
+		Dropped:   rep.Dropped,
+		Clamped:   rep.Clamped,
 	}
 	if rep.Rounds > 0 {
 		p.SecondsPerRound = p.Seconds / float64(rep.Rounds)
@@ -72,6 +76,27 @@ func PointFromReport(n int, rep run.Report) BenchPoint {
 		p.MessagesPerSecond = float64(rep.Messages) / p.Seconds
 	}
 	return p
+}
+
+// TrajectoryDigest folds a run's trajectory into an FNV-1a 64 hex digest.
+// The trajectory is the deterministic heart of a report — a pure function of
+// (spec, seed), independent of workers, engine, pipelining and observers —
+// so the digest is a compact bit-identity witness: two runs agree on it iff
+// they spread identically round for round. datebench -digest prints it, and
+// the CI instrumentation-identity smoke compares instrumented against
+// uninstrumented runs with it (the full -json output carries wall times,
+// which never reproduce).
+func TrajectoryDigest(traj []int) string {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range traj {
+		x := uint64(int64(v))
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // ProtocolsRow is one protocol's unified report in the registry table.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/rng"
 	"repro/internal/run"
@@ -144,6 +145,16 @@ type (
 	// RunOption is a functional option of Run; see WithSeed, WithWorkers,
 	// WithEngine, WithNet and WithTrace.
 	RunOption = run.Option
+
+	// Observer is the deterministic instrumentation sink of WithObserver:
+	// phase spans, per-round gauges, Chrome-trace export and the Metrics
+	// aggregate. Observers are read-only — attaching one never changes a
+	// run's results.
+	Observer = obs.Observer
+
+	// Metrics is the aggregated instrumentation attached to Report.Metrics
+	// when an observer was attached.
+	Metrics = obs.Metrics
 )
 
 // Spreading algorithms, in the display order of the paper's Figure 2.
@@ -220,11 +231,29 @@ func WithPipeline(k int) RunOption { return run.WithPipeline(k) }
 
 // WithTrace registers a per-round observer: fn is called once per protocol
 // round, in round order, with the 1-based round number and that round's
-// trajectory value (informed nodes, placed replicas, ...). The calls
-// replay the recorded trajectory after the run completes — uniform for
-// every protocol — so use fn to render progress histories; to watch a long
-// run live, attach a protocol-level hook such as RumorConfig.OnRound.
+// trajectory value (informed nodes, placed replicas, ...). For clockless
+// AsyncConfig runs the granularity is the calendar bucket: fn receives the
+// 1-based bucket index and the informed count at that bucket's boundary.
+// The calls replay the recorded trajectory after the run completes —
+// uniform for every protocol — so use fn to render progress histories; to
+// watch a long run live, attach a protocol-level hook such as
+// RumorConfig.OnRound.
 func WithTrace(fn func(round, progress int)) RunOption { return run.WithTrace(fn) }
+
+// NewObserver returns an empty instrumentation observer for WithObserver.
+// After the run, export with Observer.WriteTraceFile (Chrome trace_event
+// JSON for about:tracing / Perfetto), print Observer.Summary, or read the
+// aggregate from Report.Metrics.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// WithObserver attaches an instrumentation observer to the run: the
+// runtimes record per-(round, shard, phase) wall-clock spans and per-round
+// gauges (messages routed and dropped, clamped delays, calendar-queue
+// depth, scratch bytes, budget tokens in flight) into it, and Run fills
+// Report.Metrics with the aggregate. Observation is read-only and touches
+// no random stream: an instrumented run is bit-identical to an
+// uninstrumented one, at every worker count.
+func WithObserver(o *Observer) RunOption { return run.WithObserver(o) }
 
 // UniformRingEmbedding places n peers at uniform positions on the unit
 // ring, derived from seed — the standard embedding for NetRingLatency when

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro"
@@ -144,5 +145,125 @@ func TestArrangerFacade(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Fatalf("date %d differs: %v vs %v", i, serial[i], parallel[i])
 		}
+	}
+}
+
+// TestAsyncTraceIsBucketLevel pins the WithTrace contract for clockless
+// AsyncConfig runs: the callback fires once per calendar bucket, in bucket
+// order, with the informed count at that bucket's boundary — exactly the
+// run's History. The alternative (rejecting WithTrace for async runs) was
+// considered and rejected; buckets are the async runtime's rounds.
+func TestAsyncTraceIsBucketLevel(t *testing.T) {
+	const n = 400
+	var buckets, progress []int
+	rep, err := repro.Run(repro.AsyncConfig{Profile: repro.UnitBandwidth(n)},
+		repro.WithSeed(5), repro.WithTrace(func(bucket, p int) {
+			buckets = append(buckets, bucket)
+			progress = append(progress, p)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	detail := rep.Detail.(repro.AsyncResult)
+	if len(buckets) != detail.Buckets {
+		t.Fatalf("trace saw %d buckets, run executed %d", len(buckets), detail.Buckets)
+	}
+	for i, b := range buckets {
+		if b != i+1 {
+			t.Fatalf("trace buckets out of order: %v", buckets)
+		}
+		if progress[i] != detail.History[i] {
+			t.Fatalf("bucket %d: trace progress %d, history %d", b, progress[i], detail.History[i])
+		}
+	}
+	if progress[len(progress)-1] != n {
+		t.Fatalf("final trace progress %d, want %d", progress[len(progress)-1], n)
+	}
+}
+
+// TestWithObserverFillsMetricsAndChangesNothing is the facade-level
+// determinism contract: WithObserver fills Report.Metrics with phase and
+// gauge aggregates, and the rest of the report is bit-identical to an
+// unobserved run — at more than one worker count.
+func TestWithObserverFillsMetricsAndChangesNothing(t *testing.T) {
+	cfg := repro.LiveConfig{Profile: repro.UnitBandwidth(500)}
+	for _, workers := range []int{1, 4} {
+		plain, err := repro.Run(cfg, repro.WithSeed(9), repro.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Metrics != nil {
+			t.Fatal("unobserved run carries metrics")
+		}
+		o := repro.NewObserver()
+		observed, err := repro.Run(cfg, repro.WithSeed(9), repro.WithWorkers(workers),
+			repro.WithObserver(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observed.Metrics == nil || len(observed.Metrics.Phases) == 0 || len(observed.Metrics.Gauges) == 0 {
+			t.Fatalf("workers=%d: observed run has no metrics: %+v", workers, observed.Metrics)
+		}
+		observed.Metrics = nil
+		plain.Wall, observed.Wall = 0, 0 // wall time never reproduces
+		if !reflect.DeepEqual(plain, observed) {
+			t.Fatalf("workers=%d: observer changed the report:\nplain    %+v\nobserved %+v",
+				workers, plain, observed)
+		}
+	}
+}
+
+// TestObserverSharedAcrossRunsAttributesPerRun checks Mark-based
+// attribution: two runs sharing one observer each get only their own
+// tracks in Report.Metrics, while the observer's own aggregate sees both.
+func TestObserverSharedAcrossRunsAttributesPerRun(t *testing.T) {
+	o := repro.NewObserver()
+	a, err := repro.Run(repro.RumorConfig{N: 256, Algorithm: repro.Dating},
+		repro.WithSeed(1), repro.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.Run(repro.AsyncConfig{Profile: repro.UnitBandwidth(256)},
+		repro.WithSeed(1), repro.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Metrics.Phases {
+		if p.Track != "rumor" {
+			t.Fatalf("rumor run reported foreign track %q", p.Track)
+		}
+	}
+	for _, p := range b.Metrics.Phases {
+		if p.Track != "async" {
+			t.Fatalf("async run reported foreign track %q", p.Track)
+		}
+	}
+	tracks := map[string]bool{}
+	for _, p := range o.Metrics().Phases {
+		tracks[p.Track] = true
+	}
+	if !tracks["rumor"] || !tracks["async"] {
+		t.Fatalf("observer aggregate missing tracks: %v", tracks)
+	}
+}
+
+// TestReportSurfacesDrops pins satellite coverage of the traffic counters:
+// a lossy live run reports its drops in Report.Dropped, and a perfect-sync
+// run reports zero.
+func TestReportSurfacesDrops(t *testing.T) {
+	cfg := repro.LiveConfig{Profile: repro.UnitBandwidth(400)}
+	lossy, err := repro.Run(cfg, repro.WithSeed(3), repro.WithNet(repro.NetLoss{P: 0.10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Dropped == 0 {
+		t.Fatal("10% loss dropped no messages")
+	}
+	clean, err := repro.Run(cfg, repro.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Dropped != 0 || clean.Clamped != 0 {
+		t.Fatalf("perfect sync reported dropped=%d clamped=%d", clean.Dropped, clean.Clamped)
 	}
 }
