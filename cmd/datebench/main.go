@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datebench [-mode figure1|engine|live|async] [-scale quick|paper] [-seed N]
+//	datebench [-mode figure1|engine|live|async|topology] [-scale quick|paper] [-seed N]
 //	          [-par N] [-workers N] [-n N] [-rounds N] [-shards N]
 //	          [-baseline] [-csv] [-json] [-digest]
 //	          [-trace FILE] [-metrics] [-pprof ADDR]
@@ -53,6 +53,15 @@
 //
 //	datebench -mode async -n 100000 -shards 2 -json > BENCH_async.json
 //
+// topology mode runs graph-constrained spreader/stifler spreading — a
+// Barabási–Albert contact graph, stifling rate alpha=0.25 — on the sharded
+// runtime at 1 and -shards workers. Transition randomness derives from
+// per-peer streams consumed in canonical inbox order, so the trajectories of
+// every shard count must agree bit for bit; datebench exits non-zero if they
+// do not. -n defaults to 100000 in this mode.
+//
+//	datebench -mode topology -n 100000 -shards 2 -json > BENCH_topology.json
+//
 // # Observability
 //
 // -trace FILE attaches the deterministic instrumentation observer and
@@ -86,7 +95,7 @@ func main() {
 }
 
 func realMain() int {
-	mode := flag.String("mode", "figure1", "what to run: figure1, engine or live")
+	mode := flag.String("mode", "figure1", "what to run: figure1, engine, live, async or topology")
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper (figure1 mode)")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers (figure1 mode; results identical for any value)")
@@ -207,6 +216,31 @@ func realMain() int {
 			return 1
 		}
 
+	case "topology":
+		topoN := *n
+		if !nFlagSet() {
+			topoN = 100_000
+		}
+		res, err := sim.RunTopologyBench(topoN, *shards, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			return 1
+		}
+		switch {
+		case *digest:
+			fmt.Println(res.TrajectoryDigest)
+		case *jsonOut:
+			emitJSON("topology", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+		}
+		if !res.Identical {
+			fmt.Fprintln(os.Stderr, "datebench: shard counts disagree on the topology spreading trajectory — determinism regression")
+			return 1
+		}
+
 	case "live":
 		liveN := *n
 		if !nFlagSet() {
@@ -233,7 +267,7 @@ func realMain() int {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live or async)\n", *mode)
+		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live, async or topology)\n", *mode)
 		return 2
 	}
 	return 0

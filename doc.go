@@ -22,7 +22,8 @@
 //	fmt.Println(rep.Rounds, rep.Completed, rep.Messages)
 //
 // A protocol config — RumorConfig, MultiRumorConfig, LiveConfig,
-// AsyncConfig, MongerConfig, StorageConfig, HandshakeConfig — is a Spec,
+// AsyncConfig, TopologyConfig, MongerConfig, StorageConfig,
+// HandshakeConfig — is a Spec,
 // and the axes orthogonal to the protocol ride as functional options:
 //
 //   - WithSeed roots every random stream of the run. Streams are derived
@@ -203,6 +204,42 @@
 // (spec, seed) and bit-identical for every WithWorkers shard count.
 // WithNet is rejected for async runs: flight time is the protocol's own
 // Latency axis, not a pluggable round-grain model.
+//
+// # Topology-constrained spreading
+//
+// TopologyConfig drops the any-to-any rendezvous assumption: contacts are
+// constrained to the edges of an explicit graph (internal/graph), stored in
+// compressed-sparse-row form — two flat int32 arrays, offsets and
+// neighbors, cache-friendly at millions of nodes. Four deterministic
+// generators build topologies as pure functions of their parameters and a
+// seed (streams derive under the dedicated DomainGraph tag, so a graph is
+// bit-identical wherever it is built, at every worker count — golden tests
+// pin each generator's digest): CompleteGraph (the paper's setting as a
+// topology), RingLatticeGraph (the regular high-clustering baseline),
+// ErdosRenyiGraph (G(n,p) via the Batagelj–Brandes geometric skip, O(n +
+// edges)), BarabasiAlbertGraph (preferential attachment) and PowerLawGraph
+// (erased configuration model with a free degree exponent).
+//
+// On top runs the Maki–Thompson spreader/stifler protocol: peers are
+// ignorant, spreaders or stiflers. Each round every spreader contacts one
+// neighbor — uniformly, or weighted by the neighbor's bandwidth profile
+// (TopologyConfig.Weighted). An ignorant contact accepts the rumor with
+// probability Lambda; a contact that already knew replies "known", which
+// stifles the initiating spreader with probability Alpha; and a spreader
+// ceases spontaneously with probability Delta. Unlike push&pull, the rumor
+// can die out before reaching everyone — the final spread fraction
+// (TopologyResult.FinalSpread) is the epidemic-size observable, and the
+// hetsim "topology" experiment tables it against Alpha on scale-free,
+// random and complete graphs, from random and hub sources.
+//
+// The protocol runs on both live substrates (goroutine and sharded), with
+// per-peer SIR state held in shard-owned contiguous blocks sized by
+// live.EffectiveShards — no slice is written by two workers. All transition
+// randomness comes from the acting peer's stream, consumed in canonical
+// inbox order, so trajectories are bit-identical at every shard count and
+// across engines; examples/topology cross-checks a 10^6-peer BA spread at
+// shards {1, 2, 4} by digest, and datebench -mode topology gates the same
+// identity in CI.
 //
 // # Observability: read-only by contract
 //

@@ -1,0 +1,211 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/run"
+)
+
+func mustBA(t *testing.T, n, m int, seed uint64) *graph.CSR {
+	t.Helper()
+	g, err := graph.BarabasiAlbert(n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func topoTrajectory(t *testing.T, cfg TopologyConfig, o TopologyOptions) TopologyResult {
+	t.Helper()
+	res, err := RunTopology(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTopologyShardIdentity pins the headline determinism claim: the shard
+// count of the sharded engine is a pure speed knob — trajectories, message
+// counts and the spreader/stifler split are bit-identical at every count.
+func TestTopologyShardIdentity(t *testing.T) {
+	g := mustBA(t, 3000, 3, 7)
+	cfg := TopologyConfig{Graph: g, Source: 0, Alpha: 0.4, Delta: 0.02}
+	base := topoTrajectory(t, cfg, TopologyOptions{Seed: 42, Engine: LiveSharded, Shards: 1})
+	if base.Rounds == 0 || base.History[0] == 0 {
+		t.Fatalf("degenerate base run: %+v", base)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		res := topoTrajectory(t, cfg, TopologyOptions{Seed: 42, Engine: LiveSharded, Shards: shards})
+		if fmt.Sprint(res) != fmt.Sprint(base) {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, res, base)
+		}
+	}
+	// Pipelining is a pure scheduling change too.
+	pl := topoTrajectory(t, cfg, TopologyOptions{Seed: 42, Engine: LiveSharded, Shards: 4, Pipeline: 4})
+	if fmt.Sprint(pl) != fmt.Sprint(base) {
+		t.Errorf("pipelined run diverged:\n got %+v\nwant %+v", pl, base)
+	}
+}
+
+// TestTopologyEngineIdentity pins that the goroutine engine (sequential and
+// concurrent) reproduces the sharded runtime bit for bit — all engines share
+// the per-peer stream derivation.
+func TestTopologyEngineIdentity(t *testing.T) {
+	g := mustBA(t, 800, 2, 3)
+	cfg := TopologyConfig{Graph: g, Source: 5, Alpha: 0.3, Delta: 0.01}
+	sharded := topoTrajectory(t, cfg, TopologyOptions{Seed: 9, Engine: LiveSharded, Shards: 3})
+	seq := topoTrajectory(t, cfg, TopologyOptions{Seed: 9, Engine: LiveGoroutine})
+	conc := topoTrajectory(t, cfg, TopologyOptions{Seed: 9, Engine: LiveGoroutine, Concurrent: true})
+	if fmt.Sprint(seq) != fmt.Sprint(sharded) {
+		t.Errorf("sequential engine diverged:\n got %+v\nwant %+v", seq, sharded)
+	}
+	if fmt.Sprint(conc) != fmt.Sprint(sharded) {
+		t.Errorf("concurrent engine diverged:\n got %+v\nwant %+v", conc, sharded)
+	}
+}
+
+// TestTopologyShardLocalState drives the sharded engine at several shard
+// counts under -race: the shard-owned state blocks mean no two workers ever
+// write the same slice, and the race detector pins it.
+func TestTopologyShardLocalState(t *testing.T) {
+	g := mustBA(t, 1200, 3, 11)
+	for _, shards := range []int{1, 4} {
+		res := topoTrajectory(t, TopologyConfig{Graph: g, Source: 0, Alpha: 0.2},
+			TopologyOptions{Seed: 4, Engine: LiveSharded, Shards: shards})
+		if !res.Completed {
+			t.Errorf("shards=%d: run did not complete", shards)
+		}
+	}
+}
+
+// TestTopologyCompleteGraphMatchesPush pins the bridge to the paper's
+// any-to-any setting: on the complete graph with alpha = delta = 0 the
+// protocol is plain push, and its final spread fraction equals the round-
+// abstract push baseline's (both 1: nothing ever stifles).
+func TestTopologyCompleteGraphMatchesPush(t *testing.T) {
+	n := 300
+	g, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := topoTrajectory(t, TopologyConfig{Graph: g, Source: 0},
+		TopologyOptions{Seed: 21, Engine: LiveSharded, Shards: 2})
+	if !res.Completed {
+		t.Fatal("complete-graph run did not complete")
+	}
+	push, err := Run(Config{Algorithm: Push, N: n, Source: 0}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushFrac := float64(push.History[len(push.History)-1]) / float64(n)
+	if res.FinalSpread != pushFrac {
+		t.Errorf("complete-graph final spread %v, push baseline %v", res.FinalSpread, pushFrac)
+	}
+	if res.FinalSpread != 1 {
+		t.Errorf("alpha=0 complete-graph spread %v, want 1", res.FinalSpread)
+	}
+}
+
+// TestTopologyStiflingLimitsSpread pins the epidemiology: with alpha > 0 the
+// rumor dies out before reaching everyone on a scale-free graph, and the
+// stifler count is monotone non-decreasing.
+func TestTopologyStiflingLimitsSpread(t *testing.T) {
+	g := mustBA(t, 5000, 3, 13)
+	res := topoTrajectory(t, TopologyConfig{Graph: g, Source: 0, Alpha: 0.9, Delta: 0.1},
+		TopologyOptions{Seed: 17, Engine: LiveSharded, Shards: 4})
+	if !res.Completed {
+		t.Fatal("stifled run did not terminate")
+	}
+	if res.FinalSpread >= 1 {
+		t.Errorf("alpha=0.9 spread %v, want < 1", res.FinalSpread)
+	}
+	if res.FinalSpread <= 0 {
+		t.Error("rumor never spread at all")
+	}
+	for i := 1; i < len(res.StiflerHist); i++ {
+		if res.StiflerHist[i] < res.StiflerHist[i-1] {
+			t.Fatalf("stifler count decreased at round %d: %v", i+1, res.StiflerHist)
+		}
+	}
+	last := len(res.SpreaderHist) - 1
+	if res.SpreaderHist[last] != 0 {
+		t.Errorf("terminated run still has %d spreaders", res.SpreaderHist[last])
+	}
+	if res.History[last] != res.StiflerHist[last] {
+		t.Errorf("informed %d != stiflers %d at termination", res.History[last], res.StiflerHist[last])
+	}
+}
+
+// TestTopologyWeightedSampler runs the profile-weighted neighbor choice and
+// pins its validation.
+func TestTopologyWeightedSampler(t *testing.T) {
+	g := mustBA(t, 500, 2, 5)
+	p := bandwidth.Homogeneous(500, 2)
+	res := topoTrajectory(t, TopologyConfig{Graph: g, Profile: p, Weighted: true, Source: 0, Alpha: 0.5},
+		TopologyOptions{Seed: 2, Engine: LiveSharded, Shards: 2})
+	if !res.Completed {
+		t.Error("weighted run did not complete")
+	}
+	if _, err := RunTopology(TopologyConfig{Graph: g, Weighted: true, Source: 0}, TopologyOptions{}); err == nil {
+		t.Error("weighted run without a matching profile should be rejected")
+	}
+}
+
+// TestTopologyValidation pins the config error paths.
+func TestTopologyValidation(t *testing.T) {
+	g := mustBA(t, 50, 2, 1)
+	if _, err := RunTopology(TopologyConfig{}, TopologyOptions{}); err == nil {
+		t.Error("nil graph should be rejected")
+	}
+	if _, err := RunTopology(TopologyConfig{Graph: g, Source: 50}, TopologyOptions{}); err == nil {
+		t.Error("out-of-range source should be rejected")
+	}
+	if _, err := RunTopology(TopologyConfig{Graph: g, Alpha: 1.5}, TopologyOptions{}); err == nil {
+		t.Error("alpha > 1 should be rejected")
+	}
+	if _, err := RunTopology(TopologyConfig{Graph: g, Delta: -0.1}, TopologyOptions{}); err == nil {
+		t.Error("negative delta should be rejected")
+	}
+}
+
+// TestTopologySpec pins the run.Spec plumbing: repro-level Run executes the
+// config, the trajectory rides the report, and worker counts stay
+// bit-identical through the unified runner.
+func TestTopologySpec(t *testing.T) {
+	g := mustBA(t, 1000, 2, 19)
+	cfg := TopologyConfig{Graph: g, Source: 0, Alpha: 0.5, Delta: 0.05}
+	rep1, err := run.Run(cfg, run.WithSeed(8), run.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := run.Run(cfg, run.WithSeed(8), run.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Protocol != "topology" {
+		t.Errorf("protocol %q, want topology", rep1.Protocol)
+	}
+	if fmt.Sprint(rep1.Trajectory) != fmt.Sprint(rep4.Trajectory) || rep1.Messages != rep4.Messages {
+		t.Errorf("worker counts diverged: %v/%d vs %v/%d",
+			rep1.Trajectory, rep1.Messages, rep4.Trajectory, rep4.Messages)
+	}
+	det, ok := rep1.Detail.(TopologyResult)
+	if !ok {
+		t.Fatalf("Detail is %T, want TopologyResult", rep1.Detail)
+	}
+	if det.Rounds != rep1.Rounds || len(rep1.Sent) != rep1.Rounds {
+		t.Errorf("report shape mismatch: rounds %d/%d, sent len %d", det.Rounds, rep1.Rounds, len(rep1.Sent))
+	}
+	// The goroutine engine agrees through the spec layer too.
+	repG, err := run.Run(cfg, run.WithSeed(8), run.WithEngine(run.EngineGoroutine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(repG.Trajectory) != fmt.Sprint(rep1.Trajectory) {
+		t.Errorf("goroutine engine diverged through spec: %v vs %v", repG.Trajectory, rep1.Trajectory)
+	}
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestGraphGeneratorGoldens pins the FNV digest of every generator at two
+// sizes. Generators are pure functions of (seed, parameters) — the
+// repository's determinism story for topology — so any digest drift here
+// means spreading results on generated graphs silently changed too.
+func TestGraphGeneratorGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*CSR, error)
+		want string
+	}{
+		{"ring-64-2", func() (*CSR, error) { return RingLattice(64, 2) }, ""},
+		{"ring-1000-3", func() (*CSR, error) { return RingLattice(1000, 3) }, ""},
+		{"complete-16", func() (*CSR, error) { return Complete(16) }, ""},
+		{"complete-128", func() (*CSR, error) { return Complete(128) }, ""},
+		{"er-100-0.1", func() (*CSR, error) { return ErdosRenyi(100, 0.1, 42) }, ""},
+		{"er-2000-0.004", func() (*CSR, error) { return ErdosRenyi(2000, 0.004, 42) }, ""},
+		{"ba-100-2", func() (*CSR, error) { return BarabasiAlbert(100, 2, 42) }, ""},
+		{"ba-2000-3", func() (*CSR, error) { return BarabasiAlbert(2000, 3, 42) }, ""},
+		{"pl-100-2.5", func() (*CSR, error) { return PowerLaw(100, 2.5, 2, 20, 42) }, ""},
+		{"pl-2000-2.5", func() (*CSR, error) { return PowerLaw(2000, 2.5, 2, 80, 42) }, ""},
+	}
+	golden := map[string]string{
+		"ring-64-2":     "3070bf4de3f691ca",
+		"ring-1000-3":   "33758527354ab7f1",
+		"complete-16":   "519e2510e9ea6275",
+		"complete-128":  "b88ba0e1877620e5",
+		"er-100-0.1":    "f2297298501115c8",
+		"er-2000-0.004": "f2ef4d9a747f08e2",
+		"ba-100-2":      "70f55a668a9a2089",
+		"ba-2000-3":     "23ecc8bba5d25efe",
+		"pl-100-2.5":    "e746a6ca450a44b5",
+		"pl-2000-2.5":   "a910d9d78811dba3",
+	}
+	for _, c := range cases {
+		g, err := c.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid CSR: %v", c.name, err)
+		}
+		got := g.Digest()
+		if want := golden[c.name]; got != want {
+			t.Errorf("%s: digest %s, want %s", c.name, got, want)
+		}
+		// Re-generating must reproduce the graph bit for bit.
+		g2, err := c.gen()
+		if err != nil {
+			t.Fatalf("%s: regenerate: %v", c.name, err)
+		}
+		if g2.Digest() != got {
+			t.Errorf("%s: regeneration drifted: %s vs %s", c.name, g2.Digest(), got)
+		}
+	}
+}
+
+func TestGraphSeedsDisjoint(t *testing.T) {
+	a, err := BarabasiAlbert(500, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(500, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("different seeds produced identical BA graphs")
+	}
+}
+
+func TestGraphShapes(t *testing.T) {
+	g, err := RingLattice(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if g.Degree(i) != 4 {
+			t.Fatalf("ring node %d degree %d, want 4", i, g.Degree(i))
+		}
+	}
+	c, err := Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Edges() != 21 {
+		t.Fatalf("K7 has %d edges, want 21", c.Edges())
+	}
+	ba, err := BarabasiAlbert(300, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ba.Edges(), 3*(300-3); got != want {
+		t.Fatalf("BA(300,3) has %d edges, want %d", got, want)
+	}
+	if hub := ba.Hub(); ba.Degree(hub) < 10 {
+		t.Fatalf("BA hub degree %d suspiciously small", ba.Degree(hub))
+	}
+	pl, err := PowerLaw(400, 2.5, 2, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pl.N(); i++ {
+		if pl.Degree(i) > 30 {
+			t.Fatalf("power-law node %d degree %d exceeds cap", i, pl.Degree(i))
+		}
+	}
+}
+
+func TestGraphGeneratorErrors(t *testing.T) {
+	if _, err := RingLattice(4, 2); err == nil {
+		t.Error("RingLattice(4,2) should reject 2k >= n")
+	}
+	if _, err := ErdosRenyi(10, 1.5, 0); err == nil {
+		t.Error("ErdosRenyi should reject p > 1")
+	}
+	if _, err := BarabasiAlbert(5, 5, 0); err == nil {
+		t.Error("BarabasiAlbert should reject m >= n")
+	}
+	if _, err := PowerLaw(10, 2.0, 2, 10, 0); err == nil {
+		t.Error("PowerLaw should reject maxDeg >= n")
+	}
+	if _, err := FromEdges(3, [][2]int32{{0, 3}}, false); err == nil {
+		t.Error("FromEdges should reject out-of-range endpoints")
+	}
+	if _, err := FromEdges(3, [][2]int32{{1, 1}}, false); err == nil {
+		t.Error("FromEdges should reject self-loops without dedupe")
+	}
+	if _, err := FromEdges(3, [][2]int32{{0, 1}, {1, 0}}, false); err == nil {
+		t.Error("FromEdges should reject duplicate edges without dedupe")
+	}
+}
+
+func TestFromEdgesDedupe(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {1, 0}, {2, 2}, {1, 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("deduped graph has %d edges, want 2", g.Edges())
+	}
+}
+
+func TestUniformNeighborsPick(t *testing.T) {
+	g, err := RingLattice(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewUniformNeighbors(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(5)
+	seen := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		nb := sp.Pick(0, s)
+		if nb != 1 && nb != 11 {
+			t.Fatalf("node 0 picked non-neighbor %d", nb)
+		}
+		seen[nb]++
+	}
+	if seen[1] == 0 || seen[11] == 0 {
+		t.Fatalf("uniform sampler never picked one neighbor: %v", seen)
+	}
+}
+
+func TestWeightedNeighborsPick(t *testing.T) {
+	// Star: node 0 adjacent to 1..4; weight node 3 overwhelmingly.
+	g, err := FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1, 1, 1000, 1}
+	sp, err := NewWeightedNeighbors(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(11)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		nb := sp.Pick(0, s)
+		if nb < 1 || nb > 4 {
+			t.Fatalf("node 0 picked non-neighbor %d", nb)
+		}
+		if nb == 3 {
+			hits++
+		}
+	}
+	if hits < 900 {
+		t.Fatalf("weighted sampler picked heavy neighbor only %d/1000 times", hits)
+	}
+	// Leaf row: node 3's only neighbor is 0.
+	if nb := sp.Pick(3, s); nb != 0 {
+		t.Fatalf("leaf pick %d, want 0", nb)
+	}
+	// Zero-weight rows fall back to uniform.
+	z, err := NewWeightedNeighbors(g, make([]float64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := z.Pick(3, s); nb != 0 {
+		t.Fatalf("zero-weight pick %d, want 0", nb)
+	}
+	if _, err := NewWeightedNeighbors(g, []float64{1, -1, 1, 1, 1}); err == nil {
+		t.Error("negative weights should be rejected")
+	}
+	if _, err := NewWeightedNeighbors(g, []float64{1}); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+// TestSamplerIsolatedNode pins the -1 contract for degree-zero rows.
+func TestSamplerIsolatedNode(t *testing.T) {
+	g, err := FromEdges(3, [][2]int32{{0, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniformNeighbors(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(1)
+	if nb := u.Pick(2, s); nb != -1 {
+		t.Fatalf("isolated uniform pick %d, want -1", nb)
+	}
+	w, err := NewWeightedNeighbors(g, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := w.Pick(2, s); nb != -1 {
+		t.Fatalf("isolated weighted pick %d, want -1", nb)
+	}
+}

@@ -229,13 +229,7 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("live: shards %d must be non-negative (0 selects GOMAXPROCS)", cfg.Shards)
 	}
-	shards := cfg.Shards
-	if shards == 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards > cfg.N {
-		shards = cfg.N
-	}
+	shards := EffectiveShards(cfg.N, cfg.Shards)
 
 	rt := &Runtime{
 		n:        cfg.N,
@@ -281,6 +275,21 @@ func New(cfg Config) (*Runtime, error) {
 		}
 	})
 	return rt, nil
+}
+
+// EffectiveShards returns the worker count New runs with for a configured
+// Shards value over n peers: 0 selects GOMAXPROCS, and the count is capped
+// at n. Exposed so protocols that keep per-peer state in shard-owned
+// contiguous blocks (one block per worker, see internal/gossip's topology
+// state) can size their partition to match the runtime's exactly.
+func EffectiveShards(n, shards int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	return shards
 }
 
 // N returns the peer count.

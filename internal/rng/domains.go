@@ -15,9 +15,11 @@ package rng
 //	            embeddings)
 //	0x91–0x94   live runtime (peer streams, net streams, churn hash, ring
 //	            embedding)
-//	0xA1–0xA7   run protocol seeds (rumor, multi, live, monger, storage,
-//	            handshake, async)
+//	0x81        sim topology experiment jobs
+//	0xA1–0xA8   run protocol seeds (rumor, multi, live, monger, storage,
+//	            handshake, async, topology)
 //	0xB1        async runtime firing streams (DomainAsyncFire)
+//	0xC1        graph generators (DomainGraph)
 //
 // Most tags stay unexported inside their owning package (they are an
 // implementation detail of that package's determinism story); the constants
@@ -30,4 +32,11 @@ const (
 	// runtime bit-identical for every shard count: no shard ever needs
 	// another shard's generator position to reproduce an event.
 	DomainAsyncFire uint64 = 0xB1
+
+	// DomainGraph seeds the topology generators of internal/graph: a
+	// generator derives its stream Derive(seed, DomainGraph, tag, params...)
+	// where tag identifies the generator family, so a graph is a pure
+	// function of (seed, parameters) — bit-identical wherever it is built,
+	// at every worker count (the generator goldens pin this).
+	DomainGraph uint64 = 0xC1
 )

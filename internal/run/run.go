@@ -65,6 +65,7 @@ const (
 	DomainStorage   uint64 = 0xA5
 	DomainHandshake uint64 = 0xA6
 	DomainAsync     uint64 = 0xA7
+	DomainTopology  uint64 = 0xA8
 )
 
 // SeedFor returns the effective seed a protocol with the given domain tag

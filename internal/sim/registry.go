@@ -57,6 +57,7 @@ func Registry() []Experiment {
 		{"engine", "round-engine throughput, serial vs parallel workers", tabler(RunEngineScaled)},
 		{"live", "sharded message runtime: scale sweep + latency/loss sensitivity", parTabler(RunLiveScaled)},
 		{"async", "sync-vs-async spread curves on exponential peer clocks", parTabler(RunAsyncCompare)},
+		{"topology", "graph-constrained spreader/stifler spreading: final size vs alpha", parTabler(RunTopologySpread)},
 		{"protocols", "every protocol via the unified run.Run entrypoint", parTabler(RunProtocols)},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/gossip"
+	"repro/internal/graph"
 	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/overlay"
@@ -105,6 +106,24 @@ type (
 	// simulated clock time, informed-count history, firings).
 	AsyncResult = gossip.AsyncResult
 
+	// Graph is a compressed-sparse-row undirected topology: the contact
+	// structure of graph-constrained spreading. Build one with
+	// CompleteGraph, RingLatticeGraph, ErdosRenyiGraph, BarabasiAlbertGraph
+	// or PowerLawGraph — all deterministic functions of their parameters and
+	// seed.
+	Graph = graph.CSR
+
+	// TopologyConfig parameterizes graph-constrained spreader/stifler
+	// spreading (ignorant → spreader → stifler, stifling rate Alpha): every
+	// contact is drawn over the initiating peer's neighbor row instead of
+	// the any-to-any rendezvous assumption. The engine, shard count and
+	// network model come from the run options.
+	TopologyConfig = gossip.TopologyConfig
+
+	// TopologyResult reports a graph-constrained spreading run, including
+	// the per-round spreader/stifler split and the final spread fraction.
+	TopologyResult = gossip.TopologyResult
+
 	// MultiRumorConfig parameterizes spreading of several rumors injected
 	// over time.
 	MultiRumorConfig = gossip.MultiRumorConfig
@@ -180,6 +199,7 @@ const (
 // Run executes any protocol of this package — rumor spreading
 // (RumorConfig), multi-rumor (MultiRumorConfig), message-level live
 // spreading (LiveConfig), asynchronous clockless spreading (AsyncConfig),
+// graph-constrained spreader/stifler spreading (TopologyConfig),
 // network-coded mongering (MongerConfig), replicated storage
 // (StorageConfig), the explicit dating handshake (HandshakeConfig) — from
 // its config spec plus the orthogonal axes carried by options:
@@ -259,6 +279,34 @@ func WithObserver(o *Observer) RunOption { return run.WithObserver(o) }
 // ring, derived from seed — the standard embedding for NetRingLatency when
 // no real overlay coordinates exist.
 func UniformRingEmbedding(n int, seed uint64) []float64 { return live.UniformRing(n, seed) }
+
+// CompleteGraph returns the complete graph on n nodes — the any-to-any
+// rendezvous assumption expressed as a topology (O(n²) storage; keep n
+// modest).
+func CompleteGraph(n int) (*Graph, error) { return graph.Complete(n) }
+
+// RingLatticeGraph returns the ring lattice where each node is adjacent to
+// its k nearest neighbors per side (degree 2k); fully determined by (n, k).
+func RingLatticeGraph(n, k int) (*Graph, error) { return graph.RingLattice(n, k) }
+
+// ErdosRenyiGraph returns a G(n, p) random graph, generated in O(n + edges)
+// with the Batagelj–Brandes skip; a pure function of (n, p, seed).
+func ErdosRenyiGraph(n int, p float64, seed uint64) (*Graph, error) {
+	return graph.ErdosRenyi(n, p, seed)
+}
+
+// BarabasiAlbertGraph returns a preferential-attachment scale-free graph
+// (m edges per arriving node); a pure function of (n, m, seed).
+func BarabasiAlbertGraph(n, m int, seed uint64) (*Graph, error) {
+	return graph.BarabasiAlbert(n, m, seed)
+}
+
+// PowerLawGraph returns an erased-configuration-model graph whose degrees
+// follow P(d) ∝ d^-exponent on [minDeg, maxDeg]; a pure function of its
+// parameters and seed.
+func PowerLawGraph(n int, exponent float64, minDeg, maxDeg int, seed uint64) (*Graph, error) {
+	return graph.PowerLaw(n, exponent, minDeg, maxDeg, seed)
+}
 
 // NewStream returns a deterministic random stream seeded with seed.
 func NewStream(seed uint64) *Stream { return rng.New(seed) }

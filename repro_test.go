@@ -267,3 +267,58 @@ func TestReportSurfacesDrops(t *testing.T) {
 		t.Fatalf("perfect sync reported dropped=%d clamped=%d", clean.Dropped, clean.Clamped)
 	}
 }
+
+// TestTopologyFacade drives graph-constrained spreading end to end through
+// the public surface: a generated scale-free graph, repro.Run on the
+// TopologyConfig spec, the per-round spreader/stifler gauges riding
+// Report.Metrics, and Report.Sent carrying the per-round message history.
+func TestTopologyFacade(t *testing.T) {
+	g, err := repro.BarabasiAlbertGraph(2_000, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := repro.NewObserver()
+	rep, err := repro.Run(repro.TopologyConfig{Graph: g, Source: 0, Alpha: 0.5},
+		repro.WithSeed(11), repro.WithWorkers(2), repro.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Protocol != "topology" || !rep.Completed {
+		t.Fatalf("unexpected report: protocol=%q completed=%v", rep.Protocol, rep.Completed)
+	}
+	if len(rep.Sent) != rep.Rounds || len(rep.Trajectory) != rep.Rounds {
+		t.Fatalf("history lengths %d/%d, want %d", len(rep.Sent), len(rep.Trajectory), rep.Rounds)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("observed run carries no metrics")
+	}
+	gauges := map[string]bool{}
+	for _, gg := range rep.Metrics.Gauges {
+		if gg.Track == "topology" {
+			gauges[gg.Name] = true
+		}
+	}
+	if !gauges["spreaders"] || !gauges["stiflers"] {
+		t.Fatalf("topology gauges missing from metrics: %v", gauges)
+	}
+	det, ok := rep.Detail.(repro.TopologyResult)
+	if !ok {
+		t.Fatalf("Detail is %T, want TopologyResult", rep.Detail)
+	}
+	if det.FinalSpread <= 0 || det.FinalSpread > 1 {
+		t.Fatalf("final spread %v outside (0,1]", det.FinalSpread)
+	}
+	// The other generators are reachable through the facade too.
+	if _, err := repro.CompleteGraph(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.RingLatticeGraph(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.ErdosRenyiGraph(100, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.PowerLawGraph(100, 2.5, 2, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+}
