@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datebench [-mode figure1|engine|live|async|topology] [-scale quick|paper] [-seed N]
+//	datebench [-mode figure1|engine|live|async|topology|consensus] [-scale quick|paper] [-seed N]
 //	          [-par N] [-workers N] [-n N] [-rounds N] [-shards N]
 //	          [-baseline] [-csv] [-json] [-digest]
 //	          [-trace FILE] [-metrics] [-pprof ADDR]
@@ -62,6 +62,15 @@
 //
 //	datebench -mode topology -n 100000 -shards 2 -json > BENCH_topology.json
 //
+// consensus mode runs conflicting-rumor consensus — K=3 variants seeded at
+// distinct random peers of a Barabási–Albert graph, merged under the
+// latest-timestamp rule until 90% agreement — on the sharded runtime at 1
+// and -shards workers. The identity check compares the full per-round
+// variant-share history of every shard count; datebench exits non-zero on
+// disagreement. -n defaults to 100000 in this mode.
+//
+//	datebench -mode consensus -n 100000 -shards 2 -json > BENCH_consensus.json
+//
 // # Observability
 //
 // -trace FILE attaches the deterministic instrumentation observer and
@@ -95,7 +104,7 @@ func main() {
 }
 
 func realMain() int {
-	mode := flag.String("mode", "figure1", "what to run: figure1, engine, live, async or topology")
+	mode := flag.String("mode", "figure1", "what to run: figure1, engine, live, async, topology or consensus")
 	scaleName := flag.String("scale", "quick", "experiment sizing: quick or paper (figure1 mode)")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "harness workers (figure1 mode; results identical for any value)")
@@ -241,6 +250,31 @@ func realMain() int {
 			return 1
 		}
 
+	case "consensus":
+		consN := *n
+		if !nFlagSet() {
+			consN = 100_000
+		}
+		res, err := sim.RunConsensusBench(consN, *shards, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datebench:", err)
+			return 1
+		}
+		switch {
+		case *digest:
+			fmt.Println(res.ShareDigest)
+		case *jsonOut:
+			emitJSON("consensus", *seed, res)
+		case *csv:
+			fmt.Print(res.Table().CSV())
+		default:
+			fmt.Print(res.Table().Render())
+		}
+		if !res.Identical {
+			fmt.Fprintln(os.Stderr, "datebench: shard counts disagree on the consensus share history — determinism regression")
+			return 1
+		}
+
 	case "live":
 		liveN := *n
 		if !nFlagSet() {
@@ -267,7 +301,7 @@ func realMain() int {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live, async or topology)\n", *mode)
+		fmt.Fprintf(os.Stderr, "datebench: unknown mode %q (want figure1, engine, live, async, topology or consensus)\n", *mode)
 		return 2
 	}
 	return 0

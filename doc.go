@@ -22,7 +22,7 @@
 //	fmt.Println(rep.Rounds, rep.Completed, rep.Messages)
 //
 // A protocol config — RumorConfig, MultiRumorConfig, LiveConfig,
-// AsyncConfig, TopologyConfig, MongerConfig, StorageConfig,
+// AsyncConfig, TopologyConfig, ConsensusConfig, MongerConfig, StorageConfig,
 // HandshakeConfig — is a Spec,
 // and the axes orthogonal to the protocol ride as functional options:
 //
@@ -241,6 +241,40 @@
 // shards {1, 2, 4} by digest, and datebench -mode topology gates the same
 // identity in CI.
 //
+// # Conflicting-rumor consensus
+//
+// ConsensusConfig spreads K conflicting variants of one rumor over a graph
+// and measures convergence to agreement: each peer holds a current variant,
+// revises it under a pluggable merge rule whenever it hears variants from
+// its contacts, and the run completes when the leading variant is held by a
+// Threshold share of the population (90% by default — the convergence-time
+// observable). Seeding geometry is configurable: ConsensusSeedDistinct
+// places each variant at distinct uniform-random peers,
+// ConsensusSeedHubLeaf alternates variants between the degree extremes of
+// the graph (the seeding-advantage experiment on scale-free topologies),
+// and ConsensusSeedClustered gives each variant a contiguous ring range.
+//
+// Three merge rules, all deterministic in canonical inbox order:
+// ConsensusRuleMajority adopts the variant heard most often over the peer's
+// lifetime (exact ties to the lowest variant id); ConsensusRuleLatest
+// adopts the newest logical timestamp, so the last-stamped seed's variant
+// floods monotonically and consensus is guaranteed on any connected graph;
+// ConsensusRuleWeighted is majority with each message weighted by the
+// sender's mean profile bandwidth. The qualitative split the hetsim
+// "consensus" experiment tables: on the complete graph every rule converges
+// in O(log n) rounds, while on sparse scale-free graphs the lifetime-tally
+// rules can lock in local pluralities and stall below the threshold — only
+// the latest rule always floods to full agreement.
+//
+// The subsystem shares the topology machinery: per-peer variant state in
+// shard-owned contiguous blocks sized by live.EffectiveShards, contact
+// randomness from the acting peer's stream, merge rules that consume no
+// randomness — so runs are bit-identical at every shard count and across
+// engines (examples/consensus cross-checks by digest; datebench -mode
+// consensus gates the identity in CI). With an Observer attached,
+// per-round variant-share gauges land in Report.Metrics on the "consensus"
+// track.
+//
 // # Observability: read-only by contract
 //
 // WithObserver threads a passive instrumentation sink (internal/obs)
@@ -286,5 +320,9 @@
 // parallelism can never silently change published results.
 //
 // See the runnable programs under examples/ and the reproduction CLIs under
-// cmd/.
+// cmd/. The docs/ directory carries the repository-level contracts:
+// docs/ARCHITECTURE.md (package map and round data flow),
+// docs/DETERMINISM.md (the bit-identity contract and the full seed-domain
+// registry) and docs/BENCHMARKS.md (what each BENCH_*.json measures and how
+// the CI benchdiff gate works).
 package repro

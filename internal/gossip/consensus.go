@@ -1,0 +1,608 @@
+package gossip
+
+// This file is conflicting-rumor consensus: K conflicting variants of one
+// rumor are seeded into the population and spread over a contact graph, and
+// each peer keeps a current opinion that it revises under a pluggable merge
+// rule whenever it hears variants from its contacts (Elouafiq & Semma,
+// "Consensus Over Conflicting Rumors"). Where the spreading protocols ask
+// "how fast does everyone learn the rumor?", consensus asks "how fast does
+// everyone come to agree on the SAME version of it?" — the observable is the
+// round at which the leading variant's share of the population crosses a
+// threshold (90% by default), and the interesting axes are the number of
+// variants, where they are seeded, and how peers merge what they hear.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bandwidth"
+	"repro/internal/exch"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/run"
+	"repro/internal/simnet"
+)
+
+// kindConsVariant carries a peer's current variant (A) and its logical
+// timestamp (B); disjoint from the dating handshake (1–4), the async
+// exchange (8–9) and the topology protocol (10–11).
+const kindConsVariant uint8 = 12
+
+// consensusSeedDomain derives the seed-placement stream of SeedDistinct
+// (registry tag 0xD1 in internal/rng/domains.go / docs/DETERMINISM.md).
+// Placement randomness comes from the run seed, never from a peer stream,
+// so where the variants start is decided before the first round and is
+// identical for every engine and shard count.
+const consensusSeedDomain uint64 = 0xD1
+
+// ConsensusSeeding selects the geometry of the initial variant placement.
+type ConsensusSeeding int
+
+const (
+	// SeedDistinct places each variant's seeds at distinct peers drawn
+	// uniformly at random from the placement stream.
+	SeedDistinct ConsensusSeeding = iota
+	// SeedHubLeaf alternates variants between the degree extremes of the
+	// graph: variant 1 takes the highest-degree hubs, variant 2 the
+	// lowest-degree leaves, variant 3 the next hubs, and so on — the
+	// seeding-advantage experiment of scale-free consensus.
+	SeedHubLeaf
+	// SeedClustered gives variant v a contiguous block of peers at the
+	// start of the v-th of K equal ring ranges of [0, n) — spatially
+	// clustered opinions, the hardest geometry for global agreement on
+	// ring-like topologies.
+	SeedClustered
+)
+
+var seedingNames = [...]string{"random", "hub", "clustered"}
+
+// String names the seeding geometry as used in CLI flags and tables.
+func (g ConsensusSeeding) String() string {
+	if g < 0 || int(g) >= len(seedingNames) {
+		return fmt.Sprintf("seeding(%d)", int(g))
+	}
+	return seedingNames[g]
+}
+
+// ParseConsensusSeeding maps a name back to a ConsensusSeeding.
+func ParseConsensusSeeding(name string) (ConsensusSeeding, error) {
+	for i, n := range seedingNames {
+		if n == name {
+			return ConsensusSeeding(i), nil
+		}
+	}
+	return 0, fmt.Errorf("gossip: unknown consensus seeding %q", name)
+}
+
+// MergeRule selects how a peer revises its variant from what it hears.
+// Every rule is applied in canonical inbox order with no randomness of its
+// own, which is what keeps trajectories bit-identical across engines and
+// shard counts.
+type MergeRule int
+
+const (
+	// RuleMajority adopts the variant the peer has heard most often over
+	// its lifetime (each message counts 1); exact ties resolve to the
+	// lowest variant id, deterministically.
+	RuleMajority MergeRule = iota
+	// RuleLatest adopts the variant with the newest logical timestamp.
+	// Seed j of the canonical seeding order carries timestamp j+1, and
+	// adopting a variant adopts its timestamp, so the last-stamped seed's
+	// variant floods monotonically — consensus is guaranteed on a
+	// connected graph and the convergence time is the flood time.
+	RuleLatest
+	// RuleWeighted is RuleMajority with each heard message weighted by the
+	// sender's mean profile bandwidth (bin+bout)/2 — influential peers
+	// count for more. With a uniform profile it is exactly RuleMajority.
+	RuleWeighted
+)
+
+var ruleNames = [...]string{"majority", "latest", "weighted"}
+
+// String names the merge rule as used in CLI flags and tables.
+func (r MergeRule) String() string {
+	if r < 0 || int(r) >= len(ruleNames) {
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+	return ruleNames[r]
+}
+
+// ParseMergeRule maps a name back to a MergeRule.
+func ParseMergeRule(name string) (MergeRule, error) {
+	for i, n := range ruleNames {
+		if n == name {
+			return MergeRule(i), nil
+		}
+	}
+	return 0, fmt.Errorf("gossip: unknown merge rule %q", name)
+}
+
+// ConsensusConfig parameterizes conflicting-rumor consensus: K variants of
+// one rumor spread over a contact graph, merged per peer under Rule until
+// the leading variant holds a Threshold share of the population.
+type ConsensusConfig struct {
+	// Variants is K, the number of conflicting variants (>= 1). K = 1
+	// degenerates to plain single-rumor push spread over the graph.
+	Variants int
+	// Graph is the contact topology; every contact is drawn uniformly over
+	// the speaking peer's neighbor row (graph.Complete recovers the
+	// paper's any-to-any assumption).
+	Graph *graph.CSR
+	// Seeding picks the initial placement geometry of the variants.
+	Seeding ConsensusSeeding
+	// SeedsPerVariant is the number of peers initially holding each
+	// variant (0 = 1).
+	SeedsPerVariant int
+	// Rule is the merge rule peers revise their opinion under.
+	Rule MergeRule
+	// Profile supplies the per-peer influence weights of RuleWeighted
+	// ((bin+bout)/2); required for that rule, ignored by the others.
+	Profile bandwidth.Profile
+	// Threshold is the agreement fraction that counts as consensus: the
+	// run completes when the leading variant is held by at least
+	// ceil(Threshold*n) peers (0 = 0.9, the convergence-time tables'
+	// "rounds to 90% agreement").
+	Threshold float64
+	// MaxRounds caps the run (0 = generous log-based default).
+	MaxRounds int
+}
+
+// ConsensusOptions carries the axes of a consensus run that are orthogonal
+// to the protocol; under repro.Run they come from the run options.
+type ConsensusOptions struct {
+	Seed uint64
+	// Engine picks the substrate; the zero value is the goroutine engine.
+	// All engines share the sharded runtime's per-peer stream derivation,
+	// so the engine choice never changes trajectories.
+	Engine LiveEngine
+	// Concurrent selects the goroutine engine's concurrent mode; ignored
+	// by the sharded engine.
+	Concurrent bool
+	// Shards is the sharded engine's worker count (0 = GOMAXPROCS); every
+	// value is bit-identical.
+	Shards int
+	// Net plugs a network model into the sharded engine; nil is perfect
+	// sync. The goroutine engine rejects non-nil models.
+	Net live.NetModel
+	// Pipeline > 1 runs the sharded engine's fused round loop;
+	// bit-identical to the sequential schedule.
+	Pipeline int
+	// Obs, when non-nil, receives the runtime's phase spans plus the
+	// protocol's per-round variant-share gauges on a "consensus" track.
+	Obs *obs.Observer
+}
+
+// ConsensusResult reports a conflicting-rumor consensus run.
+type ConsensusResult struct {
+	Rounds int
+	// Completed reports whether the leading variant reached the threshold
+	// share within the round cap.
+	Completed bool
+	// Winner is the leading variant (1-based) when the run stopped.
+	Winner int
+	// Agreement is the leading variant's share of the whole population
+	// when the run stopped.
+	Agreement float64
+	// Seeds lists the initially seeded peers in canonical order; seed j
+	// holds variant j/SeedsPerVariant + 1.
+	Seeds []int
+	// DecidedHist is the count of peers holding any variant after each
+	// round — the spread component of the dynamics.
+	DecidedHist []int
+	// ShareHist[r][v] is the count of peers holding variant v+1 after
+	// round r+1 — the consensus component.
+	ShareHist [][]int
+	// SentHistory is the number of messages routed per round.
+	SentHistory []int
+	Traffic     simnet.Stats
+}
+
+// consState is the per-peer variant state, laid out as contiguous cell
+// blocks per shard — the owning shard is the only writer of its blocks, so
+// blocks of different shards never share a slice (the -race suite pins this
+// layout, the shard-local-arena idiom of the topology SIR state). The
+// partition mirrors the runtime's exactly via live.EffectiveShards.
+//
+// variant holds each peer's current opinion (0 = undecided, 1..K).
+// stamp (RuleLatest only) holds the logical timestamp of the held variant.
+// heard (RuleMajority / RuleWeighted only) holds K accumulated weights per
+// peer, the peer's lifetime tally of what it has been told.
+type consState struct {
+	part    exch.Partition
+	k       int
+	variant [][]uint8
+	stamp   [][]int32
+	heard   [][]float64
+}
+
+func newConsState(n, parts, k int, rule MergeRule) *consState {
+	st := &consState{part: exch.Partition{N: n, Parts: parts}, k: k}
+	st.variant = make([][]uint8, parts)
+	if rule == RuleLatest {
+		st.stamp = make([][]int32, parts)
+	} else {
+		st.heard = make([][]float64, parts)
+	}
+	for o := range st.variant {
+		lo, hi := st.part.Range(o)
+		st.variant[o] = make([]uint8, hi-lo)
+		if st.stamp != nil {
+			st.stamp[o] = make([]int32, hi-lo)
+		}
+		if st.heard != nil {
+			st.heard[o] = make([]float64, (hi-lo)*k)
+		}
+	}
+	return st
+}
+
+func (st *consState) getVariant(i int) uint8 {
+	o := st.part.Owner(i)
+	return st.variant[o][i-st.part.Start(o)]
+}
+
+func (st *consState) setVariant(i int, v uint8) {
+	o := st.part.Owner(i)
+	st.variant[o][i-st.part.Start(o)] = v
+}
+
+func (st *consState) getStamp(i int) int32 {
+	o := st.part.Owner(i)
+	return st.stamp[o][i-st.part.Start(o)]
+}
+
+func (st *consState) setStamp(i int, v int32) {
+	o := st.part.Owner(i)
+	st.stamp[o][i-st.part.Start(o)] = v
+}
+
+// heardRow returns peer i's K-cell tally slice.
+func (st *consState) heardRow(i int) []float64 {
+	o := st.part.Owner(i)
+	base := (i - st.part.Start(o)) * st.k
+	return st.heard[o][base : base+st.k]
+}
+
+// counts tallies decided peers and the per-variant shares; called by the
+// coordinator between rounds, when the shards are quiescent.
+func (st *consState) counts(shares []int) (decided int) {
+	for i := range shares {
+		shares[i] = 0
+	}
+	for _, cell := range st.variant {
+		for _, v := range cell {
+			if v != 0 {
+				decided++
+				shares[v-1]++
+			}
+		}
+	}
+	return decided
+}
+
+// argmaxVariant returns the 1-based variant with the largest accumulated
+// weight, resolving exact ties to the lowest variant id (only a strictly
+// greater weight displaces the running best), or 0 when nothing was heard.
+func argmaxVariant(heard []float64) int {
+	best, bw := 0, 0.0
+	for i, w := range heard {
+		if w > bw {
+			best, bw = i+1, w
+		}
+	}
+	return best
+}
+
+// consStep builds the per-peer merge state machine. All contact randomness
+// is drawn from the acting peer's own stream while its inbox is processed
+// in canonical order — the merge rules themselves consume no randomness —
+// so trajectories are bit-identical for every shard count and engine.
+// weight is nil except under RuleWeighted, where weight[sender] scales each
+// heard message; tallies accumulate in inbox order (float addition is not
+// associative, so the canonical order is load-bearing for bit identity).
+func consStep(sampler graph.Sampler, st *consState, weight []float64) live.StepFunc {
+	return func(node, round int, inbox []simnet.Message, s *rng.Stream, emit func(simnet.Message)) {
+		v := st.getVariant(node)
+		var stamp int32
+		if st.stamp != nil {
+			stamp = st.getStamp(node)
+			for _, m := range inbox {
+				if m.Kind != kindConsVariant {
+					continue
+				}
+				mv, ms := uint8(m.A), int32(m.B)
+				// Strictly newer stamps win; an equal stamp with a lower
+				// variant id wins too, so the rule is total and
+				// deterministic even if two seeds ever shared a stamp.
+				if ms > stamp || (ms == stamp && v != 0 && mv < v) || v == 0 {
+					v, stamp = mv, ms
+				}
+			}
+			st.setStamp(node, stamp)
+		} else {
+			heard := st.heardRow(node)
+			revised := false
+			for _, m := range inbox {
+				if m.Kind != kindConsVariant {
+					continue
+				}
+				w := 1.0
+				if weight != nil {
+					w = weight[m.From]
+				}
+				heard[int(m.A)-1] += w
+				revised = true
+			}
+			if revised {
+				v = uint8(argmaxVariant(heard))
+			}
+		}
+		st.setVariant(node, v)
+		if v != 0 {
+			if nb := sampler.Pick(node, s); nb >= 0 {
+				emit(simnet.Message{To: nb, Kind: kindConsVariant, A: int64(v), B: int64(stamp)})
+			}
+		}
+	}
+}
+
+// consensusSeeds computes the canonical seeding order: SeedsPerVariant
+// peers per variant, variant-major, placed by the configured geometry.
+func consensusSeeds(cfg ConsensusConfig, seed uint64) ([]int, error) {
+	n := cfg.Graph.N()
+	spv := cfg.SeedsPerVariant
+	if spv <= 0 {
+		spv = 1
+	}
+	total := cfg.Variants * spv
+	if total > n {
+		return nil, fmt.Errorf("gossip: %d variants x %d seeds exceed %d peers", cfg.Variants, spv, n)
+	}
+	seeds := make([]int, 0, total)
+	switch cfg.Seeding {
+	case SeedDistinct:
+		s := rng.New(rng.Derive(seed, consensusSeedDomain))
+		taken := make(map[int]bool, total)
+		for len(seeds) < total {
+			p := s.Intn(n)
+			if taken[p] {
+				continue
+			}
+			taken[p] = true
+			seeds = append(seeds, p)
+		}
+	case SeedHubLeaf:
+		// Degree order, stable by id: odd variants draw from the hub end,
+		// even variants from the leaf end, never overlapping.
+		byDeg := make([]int, n)
+		for i := range byDeg {
+			byDeg[i] = i
+		}
+		sort.SliceStable(byDeg, func(a, b int) bool {
+			da, db := cfg.Graph.Degree(byDeg[a]), cfg.Graph.Degree(byDeg[b])
+			if da != db {
+				return da > db
+			}
+			return byDeg[a] < byDeg[b]
+		})
+		hub, leaf := 0, n-1
+		for v := 0; v < cfg.Variants; v++ {
+			for c := 0; c < spv; c++ {
+				if v%2 == 0 {
+					seeds = append(seeds, byDeg[hub])
+					hub++
+				} else {
+					seeds = append(seeds, byDeg[leaf])
+					leaf--
+				}
+			}
+		}
+	case SeedClustered:
+		if spv > n/cfg.Variants {
+			return nil, fmt.Errorf("gossip: clustered seeding needs %d seeds within a ring range of %d", spv, n/cfg.Variants)
+		}
+		for v := 0; v < cfg.Variants; v++ {
+			start := v * n / cfg.Variants
+			for c := 0; c < spv; c++ {
+				seeds = append(seeds, start+c)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gossip: unknown consensus seeding %d", cfg.Seeding)
+	}
+	return seeds, nil
+}
+
+// RunConsensus executes conflicting-rumor consensus on a live message
+// engine.
+func RunConsensus(cfg ConsensusConfig, o ConsensusOptions) (ConsensusResult, error) {
+	if cfg.Graph == nil || cfg.Graph.N() == 0 {
+		return ConsensusResult{}, fmt.Errorf("gossip: consensus run needs a graph")
+	}
+	n := cfg.Graph.N()
+	if cfg.Variants < 1 || cfg.Variants > 255 {
+		return ConsensusResult{}, fmt.Errorf("gossip: variant count %d out of [1,255]", cfg.Variants)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return ConsensusResult{}, fmt.Errorf("gossip: threshold %v out of [0,1]", cfg.Threshold)
+	}
+	if cfg.Rule < RuleMajority || cfg.Rule > RuleWeighted {
+		return ConsensusResult{}, fmt.Errorf("gossip: unknown merge rule %d", cfg.Rule)
+	}
+	var weight []float64
+	if cfg.Rule == RuleWeighted {
+		if cfg.Profile.N() != n {
+			return ConsensusResult{}, fmt.Errorf("gossip: weighted merge needs a profile over %d nodes, got %d", n, cfg.Profile.N())
+		}
+		weight = make([]float64, n)
+		for i := range weight {
+			weight[i] = float64(cfg.Profile.In[i]+cfg.Profile.Out[i]) / 2
+		}
+	}
+	if o.Engine == LiveGoroutine && o.Net != nil {
+		return ConsensusResult{}, fmt.Errorf("gossip: network models require the sharded engine")
+	}
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = 0.9
+	}
+	target := int(math.Ceil(threshold * float64(n)))
+	sampler, err := graph.NewUniformNeighbors(cfg.Graph)
+	if err != nil {
+		return ConsensusResult{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+		for v := 1; v < n; v <<= 1 {
+			maxRounds += 64
+		}
+	}
+	seeds, err := consensusSeeds(cfg, o.Seed)
+	if err != nil {
+		return ConsensusResult{}, err
+	}
+	spv := len(seeds) / cfg.Variants
+
+	// State blocks match the runtime's shard partition, so each block has
+	// exactly one writing worker; the goroutine engine steps sequentially
+	// per peer and uses a single block.
+	parts := 1
+	if o.Engine == LiveSharded {
+		parts = live.EffectiveShards(n, o.Shards)
+	}
+	st := newConsState(n, parts, cfg.Variants, cfg.Rule)
+	for j, p := range seeds {
+		v := uint8(j/spv + 1)
+		st.setVariant(p, v)
+		if st.stamp != nil {
+			st.setStamp(p, int32(j+1))
+		} else {
+			// The seed credits its own variant once (at its own influence
+			// weight under RuleWeighted), so a freshly contacted seed does
+			// not flip on the first thing it hears.
+			w := 1.0
+			if weight != nil {
+				w = weight[p]
+			}
+			st.heardRow(p)[v-1] += w
+		}
+	}
+
+	step := consStep(sampler, st, weight)
+	var runRounds func(rounds int) simnet.Stats
+	switch o.Engine {
+	case LiveGoroutine:
+		streams := make([]*rng.Stream, n)
+		for i := range streams {
+			streams[i] = rng.New(live.PeerSeed(o.Seed, i))
+		}
+		eng, err := simnet.NewLiveWithStreams(streams, adaptStep(step))
+		if err != nil {
+			return ConsensusResult{}, err
+		}
+		if o.Concurrent {
+			runRounds = eng.Run
+		} else {
+			runRounds = eng.RunSequential
+		}
+	case LiveSharded:
+		rt, err := live.New(live.Config{
+			N:      n,
+			Seed:   o.Seed,
+			Step:   step,
+			Shards: o.Shards,
+			Net:    o.Net,
+			Obs:    o.Obs,
+		})
+		if err != nil {
+			return ConsensusResult{}, err
+		}
+		if o.Pipeline > 1 {
+			runRounds = rt.RunPipelined
+		} else {
+			runRounds = rt.Run
+		}
+	default:
+		return ConsensusResult{}, fmt.Errorf("gossip: unknown live engine %d", o.Engine)
+	}
+
+	tr := o.Obs.Track("consensus", 1)
+	gauges := make([]*obs.Gauge, cfg.Variants)
+	for v := range gauges {
+		gauges[v] = tr.Gauge(fmt.Sprintf("variant_%d", v+1))
+	}
+
+	res := ConsensusResult{Seeds: seeds}
+	shares := make([]int, cfg.Variants)
+	var prevSent int64
+	for round := 1; round <= maxRounds; round++ {
+		res.Traffic = runRounds(1)
+		res.SentHistory = append(res.SentHistory, int(res.Traffic.Sent-prevSent))
+		prevSent = res.Traffic.Sent
+		decided := st.counts(shares)
+		res.Rounds = round
+		res.DecidedHist = append(res.DecidedHist, decided)
+		res.ShareHist = append(res.ShareHist, append([]int(nil), shares...))
+		lead, leadCount := 1, shares[0]
+		for v := 1; v < cfg.Variants; v++ {
+			if shares[v] > leadCount {
+				lead, leadCount = v+1, shares[v]
+			}
+		}
+		for v, g := range gauges {
+			g.Sample(round, int64(shares[v]))
+		}
+		tr.Barrier()
+		res.Winner = lead
+		res.Agreement = float64(leadCount) / float64(n)
+		if leadCount >= target {
+			res.Completed = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// Protocol implements run.Spec.
+func (c ConsensusConfig) Protocol() string { return "consensus" }
+
+// Execute implements run.Spec: the runtime seed derives from the root seed
+// under DomainConsensus, WithEngine picks the substrate (default: the
+// sharded runtime), WithWorkers sets the shard count, WithNet the network
+// model and WithPipeline the fused round loop — all pure speed knobs under
+// perfect sync. Trajectory is the decided-peer history; Detail the full
+// ConsensusResult (per-round variant shares, winner, agreement).
+func (c ConsensusConfig) Execute(o *run.Options) (run.Report, error) {
+	copts := ConsensusOptions{
+		Seed:     run.SeedFor(o.Seed, run.DomainConsensus),
+		Net:      o.Net,
+		Pipeline: o.Pipeline,
+		Obs:      o.Obs,
+	}
+	switch o.Engine {
+	case run.EngineGoroutine:
+		copts.Engine = LiveGoroutine
+		copts.Concurrent = true
+	default: // EngineDefault, EngineSharded
+		copts.Engine = LiveSharded
+		copts.Shards = o.Workers
+	}
+	res, err := RunConsensus(c, copts)
+	if err != nil {
+		return run.Report{}, err
+	}
+	return run.Report{
+		Rounds:     res.Rounds,
+		Completed:  res.Completed,
+		Trajectory: res.DecidedHist,
+		Sent:       res.SentHistory,
+		Messages:   res.Traffic.Sent,
+		Dropped:    res.Traffic.Dropped,
+		Clamped:    res.Traffic.Clamped,
+		Detail:     res,
+	}, nil
+}

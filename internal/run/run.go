@@ -54,9 +54,9 @@ import (
 
 // Protocol seed-derivation domains. Every Spec derives its effective seed
 // as rng.Derive(rootSeed, domain), keeping the stream families of protocols
-// that share a root seed disjoint. The tags live in the 0xA_ range; other
-// families used across the repository are 0x1 (Arranger), 0x11–0x61 (the
-// sim harness) and 0x91–0x93 (the live runtime).
+// that share a root seed disjoint. The tags live in the 0xA_ range; the
+// full allocation map — every family of every package — is the registry in
+// internal/rng/domains.go, mirrored in docs/DETERMINISM.md.
 const (
 	DomainRumor     uint64 = 0xA1
 	DomainMulti     uint64 = 0xA2
@@ -66,6 +66,7 @@ const (
 	DomainHandshake uint64 = 0xA6
 	DomainAsync     uint64 = 0xA7
 	DomainTopology  uint64 = 0xA8
+	DomainConsensus uint64 = 0xA9
 )
 
 // SeedFor returns the effective seed a protocol with the given domain tag

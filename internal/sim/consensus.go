@@ -1,0 +1,287 @@
+package sim
+
+// This file is the consensus experiment and benchmark: K conflicting
+// variants of one rumor seeded by geometry and merged per peer under a rule,
+// measured as rounds to 90% agreement. The sweep crosses variant count,
+// seeding geometry and merge rule on complete and Barabási–Albert graphs —
+// the complete graph recovers the paper's any-to-any mixing (majority
+// converges in O(log n) rounds there), while the sparse scale-free graph
+// shows the ossification effect: lifetime majority tallies lock in local
+// pluralities and agreement stalls below threshold, where the
+// latest-timestamp rule still floods to full consensus.
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+
+	"repro/internal/bandwidth"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/run"
+	"repro/internal/stats"
+)
+
+// domainConsensusJobs derives the per-job root seeds, graph seeds and the
+// weighted rows' Zipf profiles of the consensus sweep (see the allocation
+// map in internal/rng/domains.go).
+const domainConsensusJobs uint64 = 0x82
+
+// ConsensusRow is one (graph, K, seeding, rule) cell of the sweep.
+type ConsensusRow struct {
+	Graph     string  `json:"graph"`
+	N         int     `json:"n"`
+	Variants  int     `json:"variants"`
+	Seeding   string  `json:"seeding"`
+	Rule      string  `json:"rule"`
+	Rounds    int     `json:"rounds"`
+	Completed bool    `json:"completed"`
+	Winner    int     `json:"winner"`
+	Agreement float64 `json:"agreement"`
+	Messages  int64   `json:"messages"`
+}
+
+// ConsensusSweepResult is the consensus experiment of the registry: the
+// convergence-time table (rounds to 90% agreement, capped rows marked
+// incomplete with the agreement they did reach) over variant count {2,3,5}
+// × seeding {random,hub,clustered} × the three merge rules, on complete and
+// Barabási–Albert graphs.
+type ConsensusSweepResult struct {
+	Rows []ConsensusRow `json:"rows"`
+}
+
+// Table renders the sweep in the repository's table shape.
+func (r ConsensusSweepResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Conflicting-rumor consensus — rounds to 90% agreement vs variants x seeding x merge rule",
+		"graph", "n", "K", "seeding", "rule", "rounds", "completed", "winner", "agreement", "messages",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Graph,
+			fmt.Sprint(row.N),
+			fmt.Sprint(row.Variants),
+			row.Seeding,
+			row.Rule,
+			fmt.Sprint(row.Rounds),
+			fmt.Sprint(row.Completed),
+			fmt.Sprint(row.Winner),
+			fmt.Sprintf("%.4f", row.Agreement),
+			fmt.Sprint(row.Messages),
+		)
+	}
+	return t
+}
+
+// consensusJob is one cell of the sweep; jobs share the read-only graphs
+// and profiles and differ only in coordinates.
+type consensusJob struct {
+	name    string
+	g       *graph.CSR
+	profile bandwidth.Profile
+	k       int
+	seeding gossip.ConsensusSeeding
+	rule    gossip.MergeRule
+}
+
+// RunConsensusSweep is the registry entry point for the consensus
+// experiment. Quick scale runs an n=2000 BA graph and an n=1000 complete
+// graph (seconds); paper scale raises them to 20000/2000. Runs are capped
+// at 200 rounds (400 at paper scale) — on the sparse graph the majority and
+// weighted rules are expected to hit the cap, and the row then reports the
+// plurality lock-in level in its agreement column. Jobs fan across workers
+// goroutines with per-job derived seeds, so the table is byte-identical for
+// every worker count.
+func RunConsensusSweep(scale Scale, seed uint64, workers int) (ConsensusSweepResult, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nBA, nComplete, maxRounds := 2_000, 1_000, 200
+	if scale == ScalePaper {
+		nBA, nComplete, maxRounds = 20_000, 2_000, 400
+	}
+	ba, err := graph.BarabasiAlbert(nBA, 3, rng.Derive(seed, domainConsensusJobs, 1))
+	if err != nil {
+		return ConsensusSweepResult{}, err
+	}
+	complete, err := graph.Complete(nComplete)
+	if err != nil {
+		return ConsensusSweepResult{}, err
+	}
+	// One heterogeneous Zipf profile per graph size feeds every weighted
+	// row of that graph; derived from the root seed, not from job order.
+	baProfile, err := bandwidth.Zipf(nBA, 1.2, 8, 2.0, rng.New(rng.Derive(seed, domainConsensusJobs, 2)))
+	if err != nil {
+		return ConsensusSweepResult{}, err
+	}
+	completeProfile, err := bandwidth.Zipf(nComplete, 1.2, 8, 2.0, rng.New(rng.Derive(seed, domainConsensusJobs, 3)))
+	if err != nil {
+		return ConsensusSweepResult{}, err
+	}
+
+	var jobs []consensusJob
+	for _, k := range []int{2, 3, 5} {
+		for _, seeding := range []gossip.ConsensusSeeding{gossip.SeedDistinct, gossip.SeedHubLeaf, gossip.SeedClustered} {
+			for _, rule := range []gossip.MergeRule{gossip.RuleMajority, gossip.RuleLatest, gossip.RuleWeighted} {
+				jobs = append(jobs,
+					consensusJob{"complete", complete, completeProfile, k, seeding, rule},
+					consensusJob{"ba", ba, baProfile, k, seeding, rule},
+				)
+			}
+		}
+	}
+
+	rows := make([]ConsensusRow, len(jobs))
+	err = forEach(len(jobs), workers, func(j int, _ *par.Budget) error {
+		job := jobs[j]
+		cfg := gossip.ConsensusConfig{
+			Variants:  job.k,
+			Graph:     job.g,
+			Seeding:   job.seeding,
+			Rule:      job.rule,
+			MaxRounds: maxRounds,
+		}
+		if job.rule == gossip.RuleWeighted {
+			cfg.Profile = job.profile
+		}
+		rep, err := run.Run(cfg, run.WithSeed(rng.Derive(seed, domainConsensusJobs, uint64(j), 4)))
+		if err != nil {
+			return fmt.Errorf("sim: consensus %s K=%d %v %v: %w", job.name, job.k, job.seeding, job.rule, err)
+		}
+		det := rep.Detail.(gossip.ConsensusResult)
+		rows[j] = ConsensusRow{
+			Graph:     job.name,
+			N:         job.g.N(),
+			Variants:  job.k,
+			Seeding:   job.seeding.String(),
+			Rule:      job.rule.String(),
+			Rounds:    rep.Rounds,
+			Completed: rep.Completed,
+			Winner:    det.Winner,
+			Agreement: det.Agreement,
+			Messages:  rep.Messages,
+		}
+		return nil
+	})
+	if err != nil {
+		return ConsensusSweepResult{}, err
+	}
+	return ConsensusSweepResult{Rows: rows}, nil
+}
+
+// ConsensusBenchRow reports one shard count of the consensus benchmark.
+type ConsensusBenchRow struct {
+	Shards      int     `json:"shards"`
+	Rounds      int     `json:"rounds"`
+	Winner      int     `json:"winner"`
+	Agreement   float64 `json:"agreement"`
+	SecPerRound float64 `json:"seconds_per_round"`
+	MsgsPerSec  float64 `json:"messages_per_second"`
+}
+
+// ConsensusBenchResult is the cmd/datebench consensus mode: K=3
+// latest-timestamp consensus from distinct random seeds on a Barabási–
+// Albert graph at shard counts {1, shards}. The latest rule floods to
+// threshold on any connected graph, so the bench always completes. The
+// identity check compares the full per-round variant-share history, not
+// just the decided-peer trajectory; ShareDigest is its FNV-1a digest, a
+// pure function of (n, seed) whatever the shard count.
+type ConsensusBenchResult struct {
+	N           int                 `json:"n"`
+	GraphDigest string              `json:"graph_digest"`
+	Identical   bool                `json:"identical_across_shards"`
+	ShareDigest string              `json:"share_digest"`
+	Rows        []ConsensusBenchRow `json:"rows"`
+	Points      []BenchPoint        `json:"points"`
+}
+
+// Table renders the benchmark in the repository's table shape.
+func (r ConsensusBenchResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Consensus runtime — BA latest-rule agreement, n=%d (identical share histories: %v)", r.N, r.Identical),
+		"shards", "rounds", "winner", "agreement", "s/round", "msg/s",
+	)
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.Shards),
+			fmt.Sprint(row.Rounds),
+			fmt.Sprint(row.Winner),
+			fmt.Sprintf("%.4f", row.Agreement),
+			fmt.Sprintf("%.4f", row.SecPerRound),
+			fmt.Sprintf("%.3g", row.MsgsPerSec),
+		)
+	}
+	return t
+}
+
+// flattenShares lays ShareHist out round-major as one []int for digesting
+// and cross-shard comparison.
+func flattenShares(hist [][]int) []int {
+	if len(hist) == 0 {
+		return nil
+	}
+	flat := make([]int, 0, len(hist)*len(hist[0]))
+	for _, shares := range hist {
+		flat = append(flat, shares...)
+	}
+	return flat
+}
+
+// RunConsensusBench profiles conflicting-rumor consensus at a single n: a
+// BA(m=3) graph built once, K=3 variants merged under the latest rule at 1
+// and shards workers on the sharded runtime. Every run goes through the
+// unified runner; rows and bench points derive from its Report, with memory
+// sampled around the whole run (graph construction excluded — the graph is
+// shared). Share-history disagreement is reported in Identical, not as an
+// error, so the caller decides whether it gates.
+func RunConsensusBench(n, shards int, seed uint64) (ConsensusBenchResult, error) {
+	if n <= 0 {
+		return ConsensusBenchResult{}, fmt.Errorf("sim: consensus bench needs positive n, got %d", n)
+	}
+	g, err := graph.BarabasiAlbert(n, 3, seed)
+	if err != nil {
+		return ConsensusBenchResult{}, err
+	}
+	cfg := gossip.ConsensusConfig{Variants: 3, Graph: g, Seeding: gossip.SeedDistinct, Rule: gossip.RuleLatest}
+	shardCounts := []int{1}
+	if shards > 1 {
+		shardCounts = append(shardCounts, shards)
+	}
+	res := ConsensusBenchResult{N: n, GraphDigest: g.Digest(), Identical: true}
+	var ref []int
+	for i, sc := range shardCounts {
+		runtime.GC()
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+		rep, err := run.Run(cfg, run.WithSeed(seed), run.WithWorkers(sc))
+		runtime.ReadMemStats(&memAfter)
+		if err != nil {
+			return ConsensusBenchResult{}, err
+		}
+		if !rep.Completed {
+			return ConsensusBenchResult{}, fmt.Errorf("sim: consensus bench shards=%d did not converge in %d rounds", sc, rep.Rounds)
+		}
+		det := rep.Detail.(gossip.ConsensusResult)
+		flat := flattenShares(det.ShareHist)
+		if i == 0 {
+			ref = flat
+			res.ShareDigest = TrajectoryDigest(ref)
+		} else if !slices.Equal(flat, ref) {
+			res.Identical = false
+		}
+		p := PointFromReport(n, rep)
+		p.SampleMem(&memBefore, &memAfter)
+		res.Rows = append(res.Rows, ConsensusBenchRow{
+			Shards:      sc,
+			Rounds:      rep.Rounds,
+			Winner:      det.Winner,
+			Agreement:   det.Agreement,
+			SecPerRound: p.SecondsPerRound,
+			MsgsPerSec:  p.MessagesPerSecond,
+		})
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}

@@ -58,6 +58,7 @@ func Registry() []Experiment {
 		{"live", "sharded message runtime: scale sweep + latency/loss sensitivity", parTabler(RunLiveScaled)},
 		{"async", "sync-vs-async spread curves on exponential peer clocks", parTabler(RunAsyncCompare)},
 		{"topology", "graph-constrained spreader/stifler spreading: final size vs alpha", parTabler(RunTopologySpread)},
+		{"consensus", "conflicting-rumor consensus: rounds to 90% agreement vs K x seeding x merge rule", parTabler(RunConsensusSweep)},
 		{"protocols", "every protocol via the unified run.Run entrypoint", parTabler(RunProtocols)},
 	}
 }

@@ -4,8 +4,8 @@ import "testing"
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, DESIGN.md lists 13 plus the engine and live benchmarks, the sync-vs-async comparison, the unified-runner sweep and the topology sweep", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, DESIGN.md lists 13 plus the engine and live benchmarks, the sync-vs-async comparison, the unified-runner sweep, the topology sweep and the consensus sweep", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.Name] = true
 	}
-	for _, want := range []string{"figure1", "figure2", "phases", "dynamicdht", "live", "async", "topology"} {
+	for _, want := range []string{"figure1", "figure2", "phases", "dynamicdht", "live", "async", "topology", "consensus"} {
 		if !seen[want] {
 			t.Fatalf("registry missing %q", want)
 		}

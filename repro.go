@@ -124,6 +124,27 @@ type (
 	// the per-round spreader/stifler split and the final spread fraction.
 	TopologyResult = gossip.TopologyResult
 
+	// ConsensusConfig parameterizes conflicting-rumor consensus: K
+	// conflicting variants of one rumor seeded by geometry (ConsensusSeed*)
+	// over a Graph and merged per peer under a Rule (ConsensusRule*) until
+	// the leading variant holds a Threshold share of the population. The
+	// engine, shard count and network model come from the run options;
+	// attach an Observer to get per-round variant-share gauges in
+	// Report.Metrics.
+	ConsensusConfig = gossip.ConsensusConfig
+
+	// ConsensusResult reports a consensus run: winner, agreement level and
+	// the full per-round variant-share history (Report.Detail).
+	ConsensusResult = gossip.ConsensusResult
+
+	// ConsensusSeeding selects the initial variant placement geometry; see
+	// the ConsensusSeed* constants.
+	ConsensusSeeding = gossip.ConsensusSeeding
+
+	// ConsensusRule selects the merge rule peers revise their variant
+	// under; see the ConsensusRule* constants.
+	ConsensusRule = gossip.MergeRule
+
 	// MultiRumorConfig parameterizes spreading of several rumors injected
 	// over time.
 	MultiRumorConfig = gossip.MultiRumorConfig
@@ -186,6 +207,34 @@ const (
 	Dating       = gossip.Dating
 )
 
+// Seeding geometries of ConsensusConfig: where the K conflicting variants
+// start.
+const (
+	// ConsensusSeedDistinct seeds each variant at distinct uniform-random
+	// peers.
+	ConsensusSeedDistinct = gossip.SeedDistinct
+	// ConsensusSeedHubLeaf alternates variants between the highest-degree
+	// hubs and the lowest-degree leaves of the graph.
+	ConsensusSeedHubLeaf = gossip.SeedHubLeaf
+	// ConsensusSeedClustered gives each variant a contiguous ring range —
+	// spatially clustered initial opinions.
+	ConsensusSeedClustered = gossip.SeedClustered
+)
+
+// Merge rules of ConsensusConfig: how a peer revises its variant from what
+// it hears. All rules are deterministic in canonical inbox order.
+const (
+	// ConsensusRuleMajority adopts the variant heard most often (ties to
+	// the lowest variant id).
+	ConsensusRuleMajority = gossip.RuleMajority
+	// ConsensusRuleLatest adopts the variant with the newest logical
+	// timestamp; it floods to full consensus on any connected graph.
+	ConsensusRuleLatest = gossip.RuleLatest
+	// ConsensusRuleWeighted is majority with each message weighted by the
+	// sender's mean profile bandwidth.
+	ConsensusRuleWeighted = gossip.RuleWeighted
+)
+
 // Message-level execution substrates for live runs (WithEngine).
 const (
 	// LiveGoroutine runs one goroutine per peer (the zero value).
@@ -200,6 +249,7 @@ const (
 // (RumorConfig), multi-rumor (MultiRumorConfig), message-level live
 // spreading (LiveConfig), asynchronous clockless spreading (AsyncConfig),
 // graph-constrained spreader/stifler spreading (TopologyConfig),
+// conflicting-rumor consensus (ConsensusConfig),
 // network-coded mongering (MongerConfig), replicated storage
 // (StorageConfig), the explicit dating handshake (HandshakeConfig) — from
 // its config spec plus the orthogonal axes carried by options:
